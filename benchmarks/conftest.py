@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+it, and archives it under ``benchmarks/results/``.  Scale knobs:
+
+* ``REPRO_BENCH_SCALE`` — SPEC proxy iteration scale.  The default,
+  ``full``, uses each program's own scale (the paper-style run, a few
+  minutes); set a small integer (e.g. ``2``) for quick CI runs.
+"""
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale(default: str = "full"):
+    """The SPEC proxy scale for benchmark runs (None = per-program default)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", str(default))
+    if raw == "full":
+        return None
+    return int(raw)
+
+
+def emit(name: str, text: str) -> str:
+    """Print a rendered table/figure and archive it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text

@@ -1,0 +1,252 @@
+"""Ablations beyond the paper's (DESIGN.md §6).
+
+* redzone sweep with/without anchor enhancement — quantifies how much
+  redzone the anchor saves;
+* quarantine budget vs use-after-free detection over churn;
+* folding-degree cap — what protection density is lost if the encoding
+  reserved fewer bits for the degree.
+"""
+
+from conftest import emit
+
+from repro.errors import AccessType
+from repro.memory import ArenaLayout
+from repro.runtime import Session
+from repro.sanitizers import GiantSan
+from repro.workloads.magma import MagmaProject, generate_project_cases
+
+LAYOUT = ArenaLayout(heap_size=1 << 20, stack_size=1 << 16, globals_size=1 << 14)
+
+
+def test_redzone_sweep_with_and_without_anchor(benchmark):
+    """Detection rate of mid/far jumps per redzone size and anchor flag."""
+    project = MagmaProject("sweep", "-", near=8, mid=8, far=4)
+    cases = generate_project_cases(project)
+
+    def sweep():
+        rows = []
+        for redzone in (1, 16, 64, 512):
+            for anchor in (False, True):
+                detected = 0
+                for case in cases:
+                    san = GiantSan(redzone=redzone, enable_anchor=anchor)
+                    result = Session(san).run(case.build())
+                    if result.errors:
+                        detected += 1
+                rows.append((redzone, anchor, detected, len(cases)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: redzone size vs anchor-based enhancement",
+             f"{'redzone':>8s} {'anchor':>7s} {'detected':>9s} {'total':>6s}"]
+    for redzone, anchor, detected, total in rows:
+        lines.append(f"{redzone:>8d} {str(anchor):>7s} {detected:>9d} {total:>6d}")
+    emit("ablation_redzone_anchor", "\n".join(lines))
+
+    by_key = {(rz, a): d for rz, a, d, _ in rows}
+    # with anchors, even a 1-byte redzone catches everything
+    assert by_key[(1, True)] == len(cases)
+    # without anchors, small redzones are bypassed by far jumps
+    assert by_key[(16, False)] < len(cases)
+    # anchor never hurts
+    for rz in (1, 16, 64, 512):
+        assert by_key[(rz, True)] >= by_key[(rz, False)]
+
+
+def test_hwasan_extension_comparison(benchmark):
+    """Extension: memory tagging (HWASAN, §6) vs segment folding.
+
+    Tagging removes redzones and catches adjacent overflows by tag
+    mismatch, but keeps one metadata load per 16-byte granule — the low
+    protection density GiantSan removes.  Measured on three proxies plus
+    a detection-granularity probe.
+    """
+    from repro import ProgramBuilder, Session
+    from repro.workloads.spec import SPEC_BY_NAME
+
+    def sweep():
+        rows = []
+        for name in ("505.mcf_r", "519.lbm_r", "523.xalancbmk_r"):
+            spec = SPEC_BY_NAME[name]
+            program = spec.build()
+            native = Session("Native").run(program, args=[2]).total_cycles()
+            per_tool = {}
+            for tool in ("GiantSan", "HWASan", "ASan"):
+                total = Session(tool).run(program, args=[2]).total_cycles()
+                per_tool[tool] = total / native
+            rows.append((name, per_tool))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Extension: HWASAN-style tagging vs segment folding",
+             f"{'program':18s} {'GiantSan':>9s} {'HWASan':>9s} {'ASan':>9s}"]
+    for name, per_tool in rows:
+        lines.append(
+            f"{name:18s} {per_tool['GiantSan']*100:>8.1f}% "
+            f"{per_tool['HWASan']*100:>8.1f}% {per_tool['ASan']*100:>8.1f}%"
+        )
+
+    # detection granularity: a 6-byte overflow within the last granule
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.malloc("p", 100)
+        f.store("p", 105, 1, 1)
+        f.free("p")
+    slack_program = b.build()
+    giant_catches = bool(Session("GiantSan").run(slack_program).errors)
+    hwasan_catches = bool(Session("HWASan").run(slack_program).errors)
+    lines.append(
+        f"6-byte overflow inside the last granule: GiantSan "
+        f"{'caught' if giant_catches else 'missed'}, HWASan "
+        f"{'caught' if hwasan_catches else 'missed'}"
+    )
+    emit("extension_hwasan", "\n".join(lines))
+
+    for name, per_tool in rows:
+        assert per_tool["GiantSan"] < per_tool["HWASan"], name
+    assert giant_catches and not hwasan_catches
+
+
+def test_memory_overhead_comparison(benchmark):
+    """Extension: metadata + padding memory per tool on one workload.
+
+    The paper's compatibility claim includes keeping ASan's shadow
+    budget: GiantSan's encoding fits the same one-byte-per-8 shadow, so
+    its memory overhead equals ASan's exactly.  LFP trades shadow for
+    per-object slack; HWASAN halves the metadata store.
+    """
+    from repro import Session
+    from repro.workloads.spec import SPEC_BY_NAME
+
+    def measure():
+        rows = []
+        for tool in ("Native", "GiantSan", "ASan", "LFP", "HWASan"):
+            session = Session(tool)
+            session.run(SPEC_BY_NAME["520.omnetpp_r"].build(), args=[2])
+            # one off-size-class object so LFP's rounding slack shows
+            session.sanitizer.malloc(600)
+            rows.append((tool, session.sanitizer.memory_overhead()))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Extension: metadata/padding memory per tool (omnetpp proxy)",
+             f"{'tool':10s} {'shadow':>10s} {'redzones':>9s} {'slack':>7s} "
+             f"{'quarantine':>11s}"]
+    for tool, overhead in rows:
+        lines.append(
+            f"{tool:10s} {overhead['shadow_bytes']:>10d} "
+            f"{overhead['redzone_bytes']:>9d} {overhead['slack_bytes']:>7d} "
+            f"{overhead['quarantine_bytes']:>11d}"
+        )
+    emit("extension_memory_overhead", "\n".join(lines))
+
+    by_tool = dict(rows)
+    # GiantSan's shadow budget is exactly ASan's (compatibility claim)
+    assert by_tool["GiantSan"]["shadow_bytes"] == by_tool["ASan"]["shadow_bytes"]
+    assert by_tool["GiantSan"]["redzone_bytes"] == by_tool["ASan"]["redzone_bytes"]
+    # LFP keeps no shadow but pays slack; HWASan halves the store
+    assert by_tool["LFP"]["shadow_bytes"] < by_tool["ASan"]["shadow_bytes"] / 100
+    assert by_tool["LFP"]["slack_bytes"] > 0
+    assert by_tool["HWASan"]["shadow_bytes"] * 2 == by_tool["ASan"]["shadow_bytes"]
+    assert by_tool["Native"]["shadow_bytes"] == 0
+
+
+def test_quarantine_budget_vs_uaf_detection(benchmark):
+    """Small quarantines recycle chunks early and miss delayed UAF."""
+    from repro import ProgramBuilder
+
+    def delayed_uaf(churn: int):
+        # the fillers stay alive: once the victim's chunk is evicted from
+        # quarantine, a filler adopts it and the dangling read lands on a
+        # *live* object — the quarantine-bypass false negative
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("victim", 64)
+            f.free("victim")
+            with f.loop("i", 0, churn):
+                f.malloc("filler", 64)  # stays live; may adopt the chunk
+                f.store("filler", 0, 8, 1)
+                f.malloc("flusher", 128)  # freed churn pushes the victim
+                f.free("flusher")  # out of the quarantine
+            f.load("x", "victim", 0, 8)
+        return b.build()
+
+    def sweep():
+        rows = []
+        for budget in (0, 1 << 10, 1 << 14, 1 << 20):
+            detected = 0
+            total = 0
+            for churn in (0, 4, 16, 64):
+                san = GiantSan(layout=LAYOUT, quarantine_bytes=budget)
+                result = Session(san).run(delayed_uaf(churn))
+                total += 1
+                uaf = [r for r in result.errors if "use-after-free" in r.kind.value]
+                if uaf:
+                    detected += 1
+            rows.append((budget, detected, total))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: quarantine budget vs delayed-UAF detection",
+             f"{'budget':>10s} {'detected':>9s} {'total':>6s}"]
+    for budget, detected, total in rows:
+        lines.append(f"{budget:>10d} {detected:>9d} {total:>6d}")
+    emit("ablation_quarantine", "\n".join(lines))
+    detections = [d for _, d, _ in rows]
+    # a bigger quarantine never detects less, and the largest catches all
+    assert detections == sorted(detections)
+    assert detections[-1] == rows[-1][2]
+
+
+def test_folding_degree_cap(benchmark):
+    """Largest region CI can safeguard per folding-degree cap.
+
+    A folded segment with degree cap ``c`` vouches for ``8 * 2^c`` bytes;
+    Algorithm 1's slow path needs two folded halves, so the largest
+    checkable region is ``2^(c+4)`` bytes.  This is why the paper spends
+    6 shadow bits on the degree: anything less puts a hard ceiling on
+    operation-level protection (larger checks would need a linear
+    fallback, i.e. regress to ASan's guardian).
+    """
+    import repro.shadow.folding as folding
+
+    object_size = 1 << 16
+
+    def sweep():
+        rows = []
+        original = folding.MAX_DEGREE
+        try:
+            for cap in (2, 4, 8, 62):
+                folding.MAX_DEGREE = cap
+                san = GiantSan(layout=LAYOUT)
+                allocation = san.malloc(object_size)
+                largest = 0
+                size = 8
+                while size <= object_size:
+                    if san.check_region(
+                        allocation.base,
+                        allocation.base + size,
+                        AccessType.READ,
+                    ):
+                        largest = size
+                    size *= 2
+                san.log.clear()
+                rows.append((cap, largest))
+        finally:
+            folding.MAX_DEGREE = original
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: folding degree cap vs largest O(1)-checkable region",
+             f"{'cap':>4s} {'largest region (bytes)':>24s}"]
+    for cap, largest in rows:
+        lines.append(f"{cap:>4d} {largest:>24d}")
+    emit("ablation_degree_cap", "\n".join(lines))
+
+    by_cap = dict(rows)
+    # ceiling = 2^(cap+4) while it is below the object size
+    assert by_cap[2] == 1 << 6
+    assert by_cap[4] == 1 << 8
+    assert by_cap[8] == 1 << 12
+    # the paper's 6-bit degree handles the whole object in O(1)
+    assert by_cap[62] == object_size

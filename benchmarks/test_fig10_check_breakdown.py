@@ -1,0 +1,38 @@
+"""Figure 10: proportion of memory accesses per protection category.
+
+Runs every SPEC proxy under GiantSan and classifies each dynamic access
+as Eliminated / Cached / FastOnly / FullCheck (ASan's per-access checks
+are the implicit denominator: every category entry corresponds to one
+access ASan would have checked).
+"""
+
+from conftest import bench_scale, emit
+
+from repro.analysis import render_figure10, run_figure10_study
+
+
+def test_fig10_check_breakdown(benchmark):
+    breakdowns = benchmark.pedantic(
+        run_figure10_study,
+        kwargs={"scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig10_check_breakdown", render_figure10(breakdowns))
+    by_name = {b.program: b for b in breakdowns}
+    # the paper's Figure 10 highlights: mcf, namd, and lbm optimize away
+    # more than 80% of ASan's checks
+    for name in ("505.mcf_r", "508.namd_r", "519.lbm_r"):
+        assert by_name[name].optimized_fraction > 0.8, name
+    # every program optimizes something, and the fast check covers the
+    # majority of what remains
+    for item in breakdowns:
+        assert item.optimized_fraction > 0.3, item.program
+    mean_fast_share = sum(
+        b.fast_only_share_of_unoptimized for b in breakdowns
+    ) / len(breakdowns)
+    assert mean_fast_share > 0.45
+    benchmark.extra_info["mean_optimized_pct"] = round(
+        100 * sum(b.optimized_fraction for b in breakdowns) / len(breakdowns),
+        2,
+    )

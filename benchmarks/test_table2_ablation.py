@@ -1,0 +1,44 @@
+"""Table 2 (ablation study): CacheOnly and EliminationOnly columns.
+
+Each optimization alone must improve on ASan; combining both must beat
+either; and EliminationOnly should land close to ASan-- (the paper's
+§5.2 observation that ASan-- has similar efficiency to
+GiantSan-EliminationOnly).
+"""
+
+from conftest import bench_scale, emit
+
+from repro.analysis import (
+    ABLATION_TOOLS,
+    render_table2,
+    run_overhead_study,
+)
+
+
+def test_table2_ablation(benchmark):
+    tools = ["GiantSan", "ASan", "ASan--"] + ABLATION_TOOLS
+
+    study = benchmark.pedantic(
+        run_overhead_study,
+        kwargs={"tools": tools, "scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    emit("table2_ablation", render_table2(study))
+    means = study.geometric_means()
+    benchmark.extra_info.update(
+        {tool: round(ratio * 100, 2) for tool, ratio in means.items()}
+    )
+    full = means["GiantSan"]
+    cache_only = means["GiantSan-CacheOnly"]
+    elim_only = means["GiantSan-EliminationOnly"]
+    asan = means["ASan"]
+    asanmm = means["ASan--"]
+    # each optimization alone improves on ASan
+    assert cache_only < asan
+    assert elim_only < asan
+    # combining both is the best configuration
+    assert full <= cache_only
+    assert full <= elim_only
+    # EliminationOnly tracks ASan-- (paper §5.2)
+    assert abs(elim_only - asanmm) / asanmm < 0.15

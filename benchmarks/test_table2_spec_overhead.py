@@ -1,0 +1,36 @@
+"""Table 2 (performance study): SPEC CPU2017 proxy overheads.
+
+Runs all 24 proxies under Native / GiantSan / ASan / ASan-- / LFP and
+prints the per-program overhead percentages plus geometric means in the
+paper's layout.  Expected shape (paper values in parentheses):
+GiantSan ~146% (146.04) < LFP ~162% (161.76) ~ ASan-- (174.89) <
+ASan ~220% (212.58).
+"""
+
+from conftest import bench_scale, emit
+
+from repro.analysis import (
+    PERFORMANCE_TOOLS,
+    render_table2,
+    run_overhead_study,
+)
+
+
+def test_table2_spec_overhead(benchmark):
+    study = benchmark.pedantic(
+        run_overhead_study,
+        kwargs={"tools": PERFORMANCE_TOOLS, "scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    emit("table2_spec_overhead", render_table2(study))
+    means = study.geometric_means()
+    benchmark.extra_info.update(
+        {tool: round(ratio * 100, 2) for tool, ratio in means.items()}
+    )
+    # headline claims of the paper, as ordering assertions
+    assert means["GiantSan"] < means["ASan--"] < means["ASan"]
+    assert means["GiantSan"] < means["LFP"] < means["ASan"]
+    # GiantSan removes over a third of ASan's overhead-over-native
+    reduction = 1 - (means["GiantSan"] - 1) / (means["ASan"] - 1)
+    assert reduction > 0.35

@@ -1,0 +1,39 @@
+"""Table 3: detection capability on the Juliet-style CWE suite.
+
+Every buggy/non-buggy pair runs under GiantSan, ASan, ASan--, and LFP.
+Expected pattern (paper): the three shadow-memory tools detect every
+triggering case identically; LFP misses stack overflows entirely, almost
+all heap overflows (size-class slack), and nothing in the underwrite /
+underread rows; nobody reports a false positive.
+"""
+
+from conftest import emit
+
+from repro.analysis import render_table3, run_juliet_study
+
+
+def test_table3_juliet(benchmark):
+    results = benchmark.pedantic(run_juliet_study, rounds=1, iterations=1)
+    emit("table3_juliet", render_table3(results))
+
+    shadow_tools = ("GiantSan", "ASan", "ASan--")
+    # the three shadow-memory tools agree exactly, per CWE
+    for cwe in results.totals:
+        counts = {t: results.detected[t].get(cwe, 0) for t in shadow_tools}
+        assert len(set(counts.values())) == 1, (cwe, counts)
+        triggering = results.totals[cwe] - results.latent.get(cwe, 0)
+        assert counts["GiantSan"] == triggering, cwe
+
+    # LFP's characteristic misses
+    assert results.detected["LFP"].get("CWE121", 0) == 0
+    heap_total = results.totals["CWE122"]
+    assert results.detected["LFP"].get("CWE122", 0) < heap_total * 0.25
+    assert results.detected["LFP"]["CWE124"] == results.totals["CWE124"]
+    assert results.detected["LFP"]["CWE127"] == results.totals["CWE127"]
+    assert results.detected["LFP"]["CWE416"] == results.totals["CWE416"]
+    assert results.detected["LFP"]["CWE476"] == results.totals["CWE476"]
+
+    # no tool reports on a non-buggy twin
+    assert set(results.false_positives.values()) == {0}
+
+    benchmark.extra_info["totals"] = dict(results.totals)

@@ -1,0 +1,23 @@
+"""Table 4: detection of Linux Flaw Project CVE scenarios.
+
+The paper's matrix: GiantSan, ASan, and ASan-- detect all 28 CVEs; LFP
+misses exactly CVE-2017-12858 (UAF via an aliased pointer),
+CVE-2017-9165 (overflow inside the size-class slack), and
+CVE-2017-14409 (stack overflow).
+"""
+
+from conftest import emit
+
+from repro.analysis import render_table4, run_linux_flaw_study
+
+PAPER_LFP_MISSES = {"CVE-2017-12858", "CVE-2017-9165", "CVE-2017-14409"}
+
+
+def test_table4_linux_flaw(benchmark):
+    results = benchmark.pedantic(run_linux_flaw_study, rounds=1, iterations=1)
+    emit("table4_linux_flaw", render_table4(results))
+
+    for tool in ("GiantSan", "ASan", "ASan--"):
+        assert not results.misses(tool), tool
+    assert set(results.misses("LFP")) == PAPER_LFP_MISSES
+    benchmark.extra_info["lfp_misses"] = sorted(results.misses("LFP"))

@@ -1,0 +1,35 @@
+"""Table 5: Magma-style detection vs redzone size.
+
+The php row is the anchor-based-enhancement experiment: GiantSan at
+rz=16 detects more cases than ASan/ASan-- even at rz=512, because the
+anchored CI spans any jump distance.  All other projects' cases are
+near-overflows that every configuration catches equally.
+"""
+
+from conftest import emit
+
+from repro.analysis import render_table5, run_magma_study
+
+
+def test_table5_magma(benchmark):
+    results = benchmark.pedantic(run_magma_study, rounds=1, iterations=1)
+    emit("table5_magma", render_table5(results))
+
+    php = results.detected["php"]
+    # paper ordering: rz16 (1556) < rz512 (1962) < GiantSan rz16 (2019)
+    assert php["ASan (rz=16)"] < php["ASan (rz=512)"] < php["GiantSan (rz=16)"]
+    assert php["ASan-- (rz=16)"] == php["ASan (rz=16)"]
+    assert php["ASan-- (rz=512)"] == php["ASan (rz=512)"]
+    # no configuration reaches the total (latent cases never trigger)
+    assert php["GiantSan (rz=16)"] < results.totals["php"]
+
+    # the other projects are redzone-insensitive
+    for project in ("libpng", "libtiff", "libxml2", "sqlite3", "poppler"):
+        counts = set(results.detected[project].values())
+        assert len(counts) == 1, project
+
+    # openssl: almost everything is undetectable by any config
+    openssl = results.detected["openssl"]
+    assert max(openssl.values()) < results.totals["openssl"] * 0.2
+
+    benchmark.extra_info["php"] = dict(php)

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Bug-detection gallery: classic memory errors under all four tools.
+
+Builds one program per bug class (heap overflow, redzone-bypassing far
+overflow, underflow, use-after-free, double free, stack overflow, null
+dereference) and prints the detection matrix — a miniature of the
+paper's Tables 3-5, including the anchor-based-enhancement story: only
+GiantSan catches the far jump with a 16-byte redzone.
+
+Run:  python examples/detect_bugs.py
+"""
+
+from repro import ProgramBuilder, Session, V
+
+TOOLS = ["GiantSan", "ASan", "ASan--", "LFP", "Native"]
+
+
+def heap_overflow():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.malloc("buf", 100)
+        f.store("buf", 100, 4, 7)  # one element past the end
+        f.free("buf")
+    return b.build()
+
+
+def redzone_bypass():
+    """p[large] jumps over a 16-byte redzone into the next object —
+    the anchor-based enhancement case (paper §4.4.1, Table 5)."""
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.malloc("buf", 64)
+        f.malloc("neighbour", 8192)
+        f.store("buf", 2000, 4, 7)  # lands inside `neighbour`
+        f.free("neighbour")
+        f.free("buf")
+    return b.build()
+
+
+def heap_underflow():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.malloc("buf", 64)
+        f.load("x", "buf", -4, 4)
+        f.free("buf")
+    return b.build()
+
+
+def use_after_free():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.malloc("buf", 64)
+        f.free("buf")
+        f.load("x", "buf", 0, 8)
+    return b.build()
+
+
+def double_free():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.malloc("buf", 64)
+        f.free("buf")
+        f.free("buf")
+    return b.build()
+
+
+def stack_overflow():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.stack_alloc("local", 32)
+        with f.loop("i", 0, 40, bounded=False) as i:
+            f.store("local", i, 1, 0x41)
+    return b.build()
+
+
+def global_overflow():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.global_alloc("table", 128)
+        f.store("table", 128, 8, 1)
+    return b.build()
+
+
+def null_dereference():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.assign("p", 0)
+        f.load("x", "p", 16, 8)
+    return b.build()
+
+
+BUGS = [
+    ("heap overflow (+1 elem)", heap_overflow),
+    ("far overflow (redzone bypass)", redzone_bypass),
+    ("heap underflow", heap_underflow),
+    ("use after free", use_after_free),
+    ("double free", double_free),
+    ("stack overflow", stack_overflow),
+    ("global overflow", global_overflow),
+    ("null dereference", null_dereference),
+]
+
+
+def main():
+    print(f"{'bug':32s} " + " ".join(f"{t:>10s}" for t in TOOLS))
+    for name, build in BUGS:
+        cells = []
+        detail = ""
+        for tool in TOOLS:
+            result = Session(tool).run(build())
+            if result.errors:
+                cells.append(f"{'CAUGHT':>10s}")
+                if tool == "GiantSan":
+                    detail = result.errors.reports[0].kind.value
+            else:
+                cells.append(f"{'-':>10s}")
+        print(f"{name:32s} " + " ".join(cells) + f"   [{detail}]")
+    print("\nNote the second row: with default 16-byte redzones only")
+    print("GiantSan catches the far jump — its check is anchored at the")
+    print("object base, so no redzone can be jumped over (paper §4.4.1).")
+
+
+if __name__ == "__main__":
+    main()

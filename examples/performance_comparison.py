@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Mini performance study: five SPEC proxies under every tool.
+
+A fast version of the Table 2 benchmark (the full 24-program sweep lives
+in benchmarks/test_table2_spec_overhead.py).  Prints per-program overhead
+percentages and the geometric means, plus the Figure 10-style breakdown
+of how GiantSan protected each access.
+
+Run:  python examples/performance_comparison.py
+"""
+
+from repro import Session, geometric_mean
+from repro.analysis import measure_check_breakdown
+from repro.workloads.spec import SPEC_BY_NAME
+
+PROGRAMS = ["505.mcf_r", "519.lbm_r", "500.perlbench_r", "520.omnetpp_r",
+            "557.xz_r"]
+TOOLS = ["GiantSan", "ASan", "ASan--", "LFP"]
+SCALE = 3
+
+
+def main():
+    print(f"{'program':18s} " + " ".join(f"{t:>10s}" for t in TOOLS))
+    ratios = {tool: [] for tool in TOOLS}
+    for name in PROGRAMS:
+        spec = SPEC_BY_NAME[name]
+        program = spec.build()
+        native = Session("Native").run(program, args=[SCALE]).total_cycles()
+        row = [f"{name:18s}"]
+        for tool in TOOLS:
+            total = Session(tool).run(program, args=[SCALE]).total_cycles()
+            ratio = total / native
+            ratios[tool].append(ratio)
+            row.append(f"{ratio * 100:>9.1f}%")
+        print(" ".join(row))
+    print(f"{'geometric mean':18s} " + " ".join(
+        f"{geometric_mean(ratios[tool]) * 100:>9.1f}%" for tool in TOOLS
+    ))
+
+    print("\nHow GiantSan protected each access (Figure 10 categories):")
+    for name in PROGRAMS:
+        item = measure_check_breakdown(SPEC_BY_NAME[name], scale=SCALE)
+        print(
+            f"  {name:18s} eliminated={item.fraction('eliminated'):5.1%} "
+            f"cached={item.fraction('cached'):5.1%} "
+            f"fast-only={item.fraction('fast_only'):5.1%} "
+            f"full-check={item.fraction('full_check'):5.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

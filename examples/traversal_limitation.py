@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The §5.4 limitation, hands-on: traversal direction matters.
+
+Walks the same buffer forward, in random order, and backwards under
+GiantSan and ASan, printing cycle costs and the cache behaviour that
+explains them — a runnable Figure 11.
+
+Run:  python examples/traversal_limitation.py
+"""
+
+from repro import Session
+from repro.workloads.traversals import (
+    forward_traversal,
+    random_traversal,
+    reverse_traversal,
+)
+
+SIZE = 8192
+
+
+def measure(pattern_name, build):
+    program = build(SIZE)
+    native = Session("Native").run(program).total_cycles()
+    rows = {}
+    for tool in ("GiantSan", "ASan"):
+        result = Session(tool).run(program)
+        rows[tool] = (result.total_cycles(), result.stats)
+    giant_cycles, giant_stats = rows["GiantSan"]
+    asan_cycles, _ = rows["ASan"]
+    print(f"--- {pattern_name} traversal of {SIZE} bytes ---")
+    print(f"  native   : {native:10.0f} cycles")
+    print(f"  GiantSan : {giant_cycles:10.0f} cycles "
+          f"({giant_cycles / native:.2f}x)")
+    print(f"  ASan     : {asan_cycles:10.0f} cycles "
+          f"({asan_cycles / native:.2f}x)")
+    print(f"  GiantSan cache: {giant_stats.cached_hits} hits, "
+          f"{giant_stats.cache_updates} quasi-bound updates, "
+          f"{giant_stats.shadow_loads} shadow loads")
+    verdict = "faster" if giant_cycles < asan_cycles else "SLOWER"
+    print(f"  => GiantSan is {asan_cycles / giant_cycles:.2f}x "
+          f"{verdict} than ASan here\n")
+
+
+def main():
+    measure("forward", forward_traversal)
+    measure("random", random_traversal)
+    measure("reverse", reverse_traversal)
+    print("Walking forward, the quasi-bound converges in O(log n) updates")
+    print("and nearly every check is one compare.  Walking backwards the")
+    print("pointer is re-derived each step and GiantSan keeps no")
+    print("quasi-lower-bound (paper §4.3), so each access pays a fresh")
+    print("anchored CI — the deterioration Figure 11c reports.")
+
+
+if __name__ == "__main__":
+    main()

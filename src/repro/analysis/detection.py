@@ -1,0 +1,130 @@
+"""Detection-study runners: Tables 3, 4, and 5.
+
+These run the generated corpora under each tool configuration and
+aggregate detections exactly the way the paper's tables do.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime import Session
+from ..workloads.juliet import JulietCase, TABLE3_CWES, generate_juliet_suite
+from ..workloads.linux_flaw import CveScenario, TABLE4_SCENARIOS
+from ..workloads.magma import (
+    TABLE5_CONFIGS,
+    TABLE5_PROJECTS,
+    generate_project_cases,
+)
+
+#: Tool columns of Tables 3 and 4.
+DETECTION_TOOLS = ["GiantSan", "ASan", "ASan--", "LFP"]
+
+
+@dataclass
+class JulietResults:
+    """Table 3: per-CWE detection counts for each tool."""
+
+    detected: Dict[str, Dict[str, int]]
+    totals: Dict[str, int]
+    false_positives: Dict[str, int]
+    latent: Dict[str, int]
+
+    def row(self, cwe: str) -> Tuple[Dict[str, int], int]:
+        return (
+            {tool: self.detected[tool].get(cwe, 0) for tool in self.detected},
+            self.totals.get(cwe, 0),
+        )
+
+
+def run_juliet_study(
+    tools: Optional[List[str]] = None,
+    cases: Optional[List[JulietCase]] = None,
+) -> JulietResults:
+    """Run every Juliet case under every tool (Table 3)."""
+    tools = tools or DETECTION_TOOLS
+    cases = cases if cases is not None else generate_juliet_suite()
+    detected: Dict[str, Dict[str, int]] = {t: defaultdict(int) for t in tools}
+    totals: Dict[str, int] = defaultdict(int)
+    latent: Dict[str, int] = defaultdict(int)
+    false_positives: Dict[str, int] = {t: 0 for t in tools}
+    for case in cases:
+        if case.buggy:
+            totals[case.cwe] += 1
+            if case.latent:
+                latent[case.cwe] += 1
+        for tool in tools:
+            result = Session(tool).run(case.program)
+            if case.buggy and result.errors:
+                detected[tool][case.cwe] += 1
+            elif not case.buggy and result.errors:
+                false_positives[tool] += 1
+    return JulietResults(
+        detected={t: dict(d) for t, d in detected.items()},
+        totals=dict(totals),
+        false_positives=false_positives,
+        latent=dict(latent),
+    )
+
+
+@dataclass
+class CveResults:
+    """Table 4: per-CVE detection flags for each tool."""
+
+    outcomes: Dict[str, Dict[str, bool]]  # cve_id -> tool -> detected
+    scenarios: List[CveScenario] = field(default_factory=list)
+
+    def misses(self, tool: str) -> List[str]:
+        return [
+            cve for cve, by_tool in self.outcomes.items() if not by_tool[tool]
+        ]
+
+
+def run_linux_flaw_study(
+    tools: Optional[List[str]] = None,
+    scenarios: Optional[List[CveScenario]] = None,
+) -> CveResults:
+    """Run every CVE scenario under every tool (Table 4)."""
+    tools = tools or DETECTION_TOOLS
+    scenarios = scenarios if scenarios is not None else TABLE4_SCENARIOS
+    outcomes: Dict[str, Dict[str, bool]] = {}
+    for scenario in scenarios:
+        row: Dict[str, bool] = {}
+        for tool in tools:
+            result = Session(tool).run(scenario.build())
+            row[tool] = bool(result.errors)
+        outcomes[scenario.cve_id] = row
+    return CveResults(outcomes=outcomes, scenarios=list(scenarios))
+
+
+@dataclass
+class MagmaResults:
+    """Table 5: per-project detection counts per configuration."""
+
+    detected: Dict[str, Dict[str, int]]  # project -> config label -> count
+    totals: Dict[str, int]
+
+    def config_labels(self) -> List[str]:
+        return [label for label, _, _ in TABLE5_CONFIGS]
+
+
+def run_magma_study(projects=None) -> MagmaResults:
+    """Run the Magma corpora under the five redzone configurations."""
+    projects = projects if projects is not None else TABLE5_PROJECTS
+    detected: Dict[str, Dict[str, int]] = {}
+    totals: Dict[str, int] = {}
+    for project in projects:
+        cases = generate_project_cases(project)
+        totals[project.name] = project.total
+        per_config: Dict[str, int] = {}
+        for label, tool, kwargs in TABLE5_CONFIGS:
+            count = 0
+            for case in cases:
+                result = Session(tool, **kwargs).run(case.build())
+                if result.errors:
+                    count += 1
+            per_config[label] = count
+        detected[project.name] = per_config
+    return MagmaResults(detected=detected, totals=totals)

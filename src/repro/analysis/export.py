@@ -1,0 +1,108 @@
+"""Result exporters: CSV and JSON for downstream plotting.
+
+The paper's figures are plots; these exporters turn any study object
+into machine-readable rows so matplotlib/R/gnuplot users can regenerate
+them (`python -m repro table2` prints the human layout; this module is
+the data side).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List
+
+from .detection import CveResults, JulietResults, MagmaResults
+from .figures import CheckBreakdown, FIG10_CATEGORIES, TraversalStudy
+from .overhead import OverheadStudy
+
+
+def overhead_to_rows(study: OverheadStudy) -> List[dict]:
+    rows = []
+    for row in study.rows:
+        record = {"program": row.program, "native_cycles": row.native_cycles}
+        for tool, ratio in row.ratios.items():
+            record[tool] = round(ratio, 6)
+        rows.append(record)
+    return rows
+
+
+def juliet_to_rows(results: JulietResults) -> List[dict]:
+    rows = []
+    for cwe, total in sorted(results.totals.items()):
+        record = {"cwe": cwe, "total": total,
+                  "latent": results.latent.get(cwe, 0)}
+        for tool, by_cwe in results.detected.items():
+            record[tool] = by_cwe.get(cwe, 0)
+        rows.append(record)
+    return rows
+
+
+def cve_to_rows(results: CveResults) -> List[dict]:
+    rows = []
+    for scenario in results.scenarios:
+        record = {
+            "program": scenario.program_name,
+            "cve": scenario.cve_id,
+            "description": scenario.description,
+        }
+        record.update(
+            {tool: int(hit) for tool, hit in results.outcomes[scenario.cve_id].items()}
+        )
+        rows.append(record)
+    return rows
+
+
+def magma_to_rows(results: MagmaResults) -> List[dict]:
+    rows = []
+    for project, per_config in results.detected.items():
+        record = {"project": project, "total": results.totals[project]}
+        record.update(per_config)
+        rows.append(record)
+    return rows
+
+
+def breakdown_to_rows(breakdowns: List[CheckBreakdown]) -> List[dict]:
+    rows = []
+    for item in breakdowns:
+        record = {"program": item.program, "total": item.total}
+        for category in FIG10_CATEGORIES:
+            record[category] = item.counts.get(category, 0)
+            record[f"{category}_fraction"] = round(item.fraction(category), 6)
+        record["optimized_fraction"] = round(item.optimized_fraction, 6)
+        rows.append(record)
+    return rows
+
+
+def traversal_to_rows(study: TraversalStudy) -> List[dict]:
+    return [
+        {
+            "pattern": p.pattern,
+            "size": p.size,
+            "tool": p.tool,
+            "cycles": round(p.cycles, 3),
+        }
+        for p in study.points
+    ]
+
+
+def to_csv(rows: List[dict]) -> str:
+    """Rows as CSV text (columns from the union of keys, stable order)."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def to_json(rows: List[dict]) -> str:
+    """Rows as pretty-printed JSON."""
+    return json.dumps(rows, indent=2, sort_keys=False)

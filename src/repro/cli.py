@@ -1,0 +1,167 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro list                         # experiments available
+    python -m repro table1
+    python -m repro table2 --scale 2 --ablation
+    python -m repro table3
+    python -m repro table4
+    python -m repro table5
+    python -m repro fig10 --scale 2
+    python -m repro fig11
+    python -m repro demo                         # quickstart bug report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args) -> str:
+    from .analysis import render_table1
+
+    return render_table1()
+
+
+def _cmd_table2(args) -> str:
+    from .analysis import (
+        ABLATION_TOOLS,
+        PERFORMANCE_TOOLS,
+        overhead_to_rows,
+        render_table2,
+        run_overhead_study,
+        to_csv,
+        to_json,
+    )
+
+    tools = list(PERFORMANCE_TOOLS)
+    if args.ablation:
+        tools += ABLATION_TOOLS
+    study = run_overhead_study(tools=tools, scale=args.scale)
+    if args.format == "csv":
+        return to_csv(overhead_to_rows(study)).rstrip()
+    if args.format == "json":
+        return to_json(overhead_to_rows(study))
+    return render_table2(study)
+
+
+def _cmd_table3(args) -> str:
+    from .analysis import render_table3, run_juliet_study
+
+    return render_table3(run_juliet_study())
+
+
+def _cmd_table4(args) -> str:
+    from .analysis import render_table4, run_linux_flaw_study
+
+    return render_table4(run_linux_flaw_study())
+
+
+def _cmd_table5(args) -> str:
+    from .analysis import render_table5, run_magma_study
+
+    return render_table5(run_magma_study())
+
+
+def _cmd_fig10(args) -> str:
+    from .analysis import render_figure10, run_figure10_study
+
+    return render_figure10(run_figure10_study(scale=args.scale))
+
+
+def _cmd_fig11(args) -> str:
+    from .analysis import render_figure11, run_figure11_study
+
+    return render_figure11(run_figure11_study())
+
+
+def _cmd_demo(args) -> str:
+    from . import ProgramBuilder, Session
+    from .reporting import format_all_reports
+
+    builder = ProgramBuilder()
+    with builder.function("main") as f:
+        f.malloc("buf", 100)
+        with f.loop("i", 0, 26, bounded=False) as i:
+            f.store("buf", i * 4, 4, i)
+        f.free("buf")
+    session = Session(args.tool)
+    session.run(builder.build())
+    return format_all_reports(session.sanitizer)
+
+
+_COMMANDS = {
+    "table1": (_cmd_table1, "Table 1: op-level vs instruction-level checks"),
+    "table2": (_cmd_table2, "Table 2: SPEC proxy overheads"),
+    "table3": (_cmd_table3, "Table 3: Juliet-style detection"),
+    "table4": (_cmd_table4, "Table 4: Linux Flaw CVE detection"),
+    "table5": (_cmd_table5, "Table 5: Magma redzone study"),
+    "fig10": (_cmd_fig10, "Figure 10: check-type breakdown"),
+    "fig11": (_cmd_fig11, "Figure 11: traversal patterns"),
+    "demo": (_cmd_demo, "Detect a bug and print an ASan-style report"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GiantSan reproduction: regenerate the paper's "
+        "tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list available experiments")
+    for name, (_, help_text) in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        if name in ("table2", "fig10"):
+            sub.add_argument(
+                "--scale",
+                type=int,
+                default=None,
+                help="iteration-scale override (default: per-program)",
+            )
+        if name == "table2":
+            sub.add_argument(
+                "--ablation",
+                action="store_true",
+                help="also run the CacheOnly/EliminationOnly columns",
+            )
+            sub.add_argument(
+                "--format",
+                choices=["table", "csv", "json"],
+                default="table",
+                help="output format (default: the paper's table layout)",
+            )
+        if name == "demo":
+            sub.add_argument(
+                "--tool",
+                default="GiantSan",
+                help="sanitizer to run the demo under (default GiantSan)",
+            )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        lines = ["available experiments:"]
+        for name, (_, help_text) in _COMMANDS.items():
+            lines.append(f"  {name:8s} {help_text}")
+        print("\n".join(lines))
+        return 0
+    handler, _ = _COMMANDS[args.command]
+    try:
+        print(handler(args))
+    except BrokenPipeError:  # e.g. `python -m repro table2 | head`
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

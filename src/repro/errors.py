@@ -1,0 +1,159 @@
+"""Error taxonomy and report structures for the sanitizer runtimes.
+
+Location-based sanitizers such as ASan and GiantSan classify an invalid
+access by the shadow state of the byte that was hit (redzone, freed
+quarantine slot, stack poison, ...).  This module defines the shared
+vocabulary every sanitizer in this package reports with, mirroring the
+report categories of the paper's evaluation (spatial vs. temporal errors,
+overflow vs. underflow, use-after-free, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class ErrorKind(enum.Enum):
+    """The kind of memory-safety violation detected at runtime."""
+
+    HEAP_BUFFER_OVERFLOW = "heap-buffer-overflow"
+    HEAP_BUFFER_UNDERFLOW = "heap-buffer-underflow"
+    STACK_BUFFER_OVERFLOW = "stack-buffer-overflow"
+    STACK_BUFFER_UNDERFLOW = "stack-buffer-underflow"
+    GLOBAL_BUFFER_OVERFLOW = "global-buffer-overflow"
+    USE_AFTER_FREE = "heap-use-after-free"
+    USE_AFTER_RETURN = "stack-use-after-return"
+    DOUBLE_FREE = "double-free"
+    INVALID_FREE = "invalid-free"
+    NULL_DEREFERENCE = "null-dereference"
+    WILD_ACCESS = "wild-access"
+    UNKNOWN = "unknown-violation"
+
+    @property
+    def is_spatial(self) -> bool:
+        """True for accesses outside an object's allocated region."""
+        return self in _SPATIAL_KINDS
+
+    @property
+    def is_temporal(self) -> bool:
+        """True for accesses to an object outside its lifetime."""
+        return self in _TEMPORAL_KINDS
+
+
+_SPATIAL_KINDS = frozenset(
+    {
+        ErrorKind.HEAP_BUFFER_OVERFLOW,
+        ErrorKind.HEAP_BUFFER_UNDERFLOW,
+        ErrorKind.STACK_BUFFER_OVERFLOW,
+        ErrorKind.STACK_BUFFER_UNDERFLOW,
+        ErrorKind.GLOBAL_BUFFER_OVERFLOW,
+    }
+)
+
+_TEMPORAL_KINDS = frozenset(
+    {
+        ErrorKind.USE_AFTER_FREE,
+        ErrorKind.USE_AFTER_RETURN,
+        ErrorKind.DOUBLE_FREE,
+        ErrorKind.INVALID_FREE,
+    }
+)
+
+
+class AccessType(enum.Enum):
+    """Whether the faulting operation was a read or a write."""
+
+    READ = "read"
+    WRITE = "write"
+    FREE = "free"
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """One diagnosed memory-safety violation.
+
+    Mirrors the fields an ASan report carries: the faulting address and
+    width, the access direction, the classified kind, and (when the
+    allocator can resolve it) which allocation the address relates to.
+    """
+
+    kind: ErrorKind
+    address: int
+    size: int
+    access: AccessType
+    shadow_value: Optional[int] = None
+    allocation_id: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        base = (
+            f"{self.kind.value}: {self.access.value} of {self.size} byte(s)"
+            f" at 0x{self.address:x}"
+        )
+        if self.detail:
+            base += f" ({self.detail})"
+        return base
+
+
+class SanitizerError(Exception):
+    """Raised when a sanitizer halts on the first error (halt_on_error)."""
+
+    def __init__(self, report: ErrorReport):
+        super().__init__(str(report))
+        self.report = report
+
+
+class AllocationError(Exception):
+    """Raised when the simulated allocator cannot satisfy a request."""
+
+
+class AddressSpaceError(Exception):
+    """Raised on accesses that leave the simulated arenas entirely."""
+
+
+@dataclass
+class ErrorLog:
+    """Collects reports during execution (halt_on_error=false mode).
+
+    The paper's evaluation disables halting so a whole benchmark or test
+    suite can run to completion; this log is the analogue.
+    """
+
+    reports: List[ErrorReport] = field(default_factory=list)
+    halt_on_error: bool = False
+
+    def report(self, report: ErrorReport) -> None:
+        """Record one violation, raising if configured to halt."""
+        self.reports.append(report)
+        if self.halt_on_error:
+            raise SanitizerError(report)
+
+    def clear(self) -> None:
+        self.reports.clear()
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __bool__(self) -> bool:
+        return bool(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def kinds(self) -> List[ErrorKind]:
+        """The kinds of all recorded reports, in order."""
+        return [r.kind for r in self.reports]
+
+    def count(self, kind: ErrorKind) -> int:
+        """Number of reports of the given kind."""
+        return sum(1 for r in self.reports if r.kind is kind)
+
+    @property
+    def spatial(self) -> List[ErrorReport]:
+        return [r for r in self.reports if r.kind.is_spatial]
+
+    @property
+    def temporal(self) -> List[ErrorReport]:
+        return [r for r in self.reports if r.kind.is_temporal]

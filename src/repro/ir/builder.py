@@ -1,0 +1,219 @@
+"""Fluent builder for IR programs.
+
+Workloads construct programs through this API, e.g. the paper's Figure 8a::
+
+    b = ProgramBuilder()
+    with b.function("foo", params=["p", "N"]) as f:
+        f.load("x", "p", 0, 8)
+        f.load("y", "p", 8, 8)
+        with f.loop("i", 0, V("N")) as i:
+            f.load("j", "x", i * 4, 4)
+            f.store("y", V("j") * 4, 4, i)
+        f.memset("x", 0, V("N") * 4)
+    program = b.build(entry="foo")
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import List, Optional, Union
+
+from ..errors import AccessType
+from .nodes import (
+    Assign,
+    Call,
+    Compute,
+    GlobalAlloc,
+    Const,
+    Expr,
+    ExprLike,
+    Free,
+    If,
+    Instr,
+    Load,
+    Loop,
+    Malloc,
+    Memcpy,
+    Memset,
+    PtrAdd,
+    Return,
+    StackAlloc,
+    Store,
+    Strcpy,
+    Var,
+    as_expr,
+)
+from .program import Function, Program
+
+
+class FunctionBuilder:
+    """Accumulates instructions for one function; supports nested blocks."""
+
+    def __init__(self, name: str, params: Optional[List[str]] = None):
+        self.function = Function(name=name, params=list(params or []))
+        self._blocks: List[List[Instr]] = [self.function.body]
+
+    # ------------------------------------------------------------------
+    def _emit(self, instr: Instr) -> Instr:
+        self._blocks[-1].append(instr)
+        return instr
+
+    # ------------------------------------------------------------------
+    # plain instructions
+    # ------------------------------------------------------------------
+    def assign(self, dst: str, expr: ExprLike) -> Var:
+        self._emit(Assign(dst, as_expr(expr)))
+        return Var(dst)
+
+    def compute(self, cycles: float) -> None:
+        """Charge pure-compute native cycles (no memory traffic)."""
+        self._emit(Compute(cycles))
+
+    def malloc(self, dst: str, size: ExprLike) -> Var:
+        self._emit(Malloc(dst, as_expr(size)))
+        return Var(dst)
+
+    def stack_alloc(self, dst: str, size: int) -> Var:
+        self._emit(StackAlloc(dst, size))
+        return Var(dst)
+
+    def global_alloc(self, dst: str, size: int) -> Var:
+        self._emit(GlobalAlloc(dst, size))
+        return Var(dst)
+
+    def free(self, ptr: str) -> None:
+        self._emit(Free(ptr))
+
+    def ptr_add(self, dst: str, base: str, offset: ExprLike) -> Var:
+        self._emit(PtrAdd(dst, base, as_expr(offset)))
+        return Var(dst)
+
+    def load(self, dst: str, base: str, offset: ExprLike, width: int = 8) -> Var:
+        self._emit(Load(dst, base, as_expr(offset), width))
+        return Var(dst)
+
+    def store(
+        self, base: str, offset: ExprLike, width: int, value: ExprLike
+    ) -> None:
+        self._emit(Store(base, as_expr(offset), width, as_expr(value)))
+
+    def memset(
+        self, base: str, offset: ExprLike, length: ExprLike, byte: ExprLike = 0
+    ) -> None:
+        self._emit(Memset(base, as_expr(offset), as_expr(length), as_expr(byte)))
+
+    def memcpy(
+        self,
+        dst_base: str,
+        dst_offset: ExprLike,
+        src_base: str,
+        src_offset: ExprLike,
+        length: ExprLike,
+    ) -> None:
+        self._emit(
+            Memcpy(
+                dst_base,
+                as_expr(dst_offset),
+                src_base,
+                as_expr(src_offset),
+                as_expr(length),
+            )
+        )
+
+    def strcpy(
+        self,
+        dst_base: str,
+        dst_offset: ExprLike,
+        src_base: str,
+        src_offset: ExprLike,
+    ) -> None:
+        self._emit(
+            Strcpy(dst_base, as_expr(dst_offset), src_base, as_expr(src_offset))
+        )
+
+    def call(
+        self, func: str, args: Optional[List[ExprLike]] = None, dst: Optional[str] = None
+    ) -> Optional[Var]:
+        self._emit(Call(func, [as_expr(a) for a in (args or [])], dst))
+        return Var(dst) if dst else None
+
+    def ret(self, expr: Optional[ExprLike] = None) -> None:
+        self._emit(Return(as_expr(expr) if expr is not None else None))
+
+    # ------------------------------------------------------------------
+    # control flow blocks
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def loop(
+        self,
+        var: str,
+        start: ExprLike,
+        end: ExprLike,
+        step: int = 1,
+        bounded: bool = True,
+        reverse: bool = False,
+    ):
+        """``for (var = start; var < end; var += step)``; yields Var(var).
+
+        ``reverse=True`` iterates from ``end - step`` down to ``start``
+        (the paper's reverse-traversal pattern, Figure 11c).
+        ``bounded=False`` forbids SCEV promotion, modelling loops whose
+        trip count is not statically computable.
+        """
+        node = Loop(
+            var=var,
+            start=as_expr(start),
+            end=as_expr(end),
+            body=[],
+            step=step,
+            bounded=bounded,
+            reverse=reverse,
+        )
+        self._emit(node)
+        self._blocks.append(node.body)
+        try:
+            yield Var(var)
+        finally:
+            self._blocks.pop()
+
+    @contextlib.contextmanager
+    def if_(self, cond: Expr):
+        node = If(cond=cond, then=[], orelse=[])
+        self._emit(node)
+        self._blocks.append(node.then)
+        try:
+            yield
+        finally:
+            self._blocks.pop()
+
+    @contextlib.contextmanager
+    def else_(self):
+        """Attach an else-block to the most recent If in the current block."""
+        current = self._blocks[-1]
+        for instr in reversed(current):
+            if isinstance(instr, If):
+                self._blocks.append(instr.orelse)
+                try:
+                    yield
+                finally:
+                    self._blocks.pop()
+                return
+        raise ValueError("else_ used without a preceding if_")
+
+
+class ProgramBuilder:
+    """Top-level builder collecting functions into a Program."""
+
+    def __init__(self) -> None:
+        self._program = Program()
+
+    @contextlib.contextmanager
+    def function(self, name: str, params: Optional[List[str]] = None):
+        fb = FunctionBuilder(name, params)
+        yield fb
+        self._program.add(fb.function)
+
+    def build(self, entry: str = "main") -> Program:
+        self._program.entry = entry
+        self._program.validate()
+        return self._program

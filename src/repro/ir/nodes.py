@@ -1,0 +1,376 @@
+"""Mini-IR the instrumentation pipeline operates on.
+
+Programs are trees of instructions over integer-valued locals.  Pointers
+are plain integers at runtime; *statically* every pointer-typed local has
+a provenance (which allocation it derives from, at which offset), which
+is what the must-alias and loop-bound passes consume — mirroring how the
+paper's LLVM passes reason about ``getelementptr`` chains.
+
+Expressions are immutable and support operator overloading, so workloads
+read naturally::
+
+    f.store("y", V("j") * 4, 4, V("i"))     # y[j] = i
+
+Check instructions (``CheckAccess``/``CheckRegion``/``CheckCached``) are
+*inserted by the instrumenter*, never written by hand in workloads; the
+interpreter executes them against the active sanitizer runtime.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..errors import AccessType
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for IR expressions (immutable, hashable)."""
+
+    def _wrap(self, other) -> "Expr":
+        return other if isinstance(other, Expr) else Const(int(other))
+
+    def __add__(self, other):
+        return BinOp("+", self, self._wrap(other))
+
+    def __radd__(self, other):
+        return BinOp("+", self._wrap(other), self)
+
+    def __sub__(self, other):
+        return BinOp("-", self, self._wrap(other))
+
+    def __rsub__(self, other):
+        return BinOp("-", self._wrap(other), self)
+
+    def __mul__(self, other):
+        return BinOp("*", self, self._wrap(other))
+
+    def __rmul__(self, other):
+        return BinOp("*", self._wrap(other), self)
+
+    def __floordiv__(self, other):
+        return BinOp("//", self, self._wrap(other))
+
+    def __mod__(self, other):
+        return BinOp("%", self, self._wrap(other))
+
+    def __lshift__(self, other):
+        return BinOp("<<", self, self._wrap(other))
+
+    def __rshift__(self, other):
+        return BinOp(">>", self, self._wrap(other))
+
+    def __and__(self, other):
+        return BinOp("&", self, self._wrap(other))
+
+    def __or__(self, other):
+        return BinOp("|", self, self._wrap(other))
+
+    def __xor__(self, other):
+        return BinOp("^", self, self._wrap(other))
+
+    def __neg__(self):
+        return BinOp("-", Const(0), self)
+
+    # comparisons build condition expressions (not Python bools)
+    def lt(self, other):
+        return BinOp("<", self, self._wrap(other))
+
+    def le(self, other):
+        return BinOp("<=", self, self._wrap(other))
+
+    def gt(self, other):
+        return BinOp(">", self, self._wrap(other))
+
+    def ge(self, other):
+        return BinOp(">=", self, self._wrap(other))
+
+    def eq(self, other):
+        return BinOp("==", self, self._wrap(other))
+
+    def ne(self, other):
+        return BinOp("!=", self, self._wrap(other))
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """Integer literal."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Reference to a local variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation; comparison ops yield 0/1."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+def V(name: str) -> Var:
+    """Shorthand variable constructor used throughout the workloads."""
+    return Var(name)
+
+
+def C(value: int) -> Const:
+    """Shorthand constant constructor."""
+    return Const(value)
+
+
+ExprLike = Union[Expr, int]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce an int (or pass through an Expr)."""
+    return value if isinstance(value, Expr) else Const(int(value))
+
+
+# ----------------------------------------------------------------------
+# protection classification (Figure 10 categories)
+# ----------------------------------------------------------------------
+class Protection(enum.Enum):
+    """How the instrumentation ended up protecting a memory access site."""
+
+    UNPROTECTED = "unprotected"  # native / removed entirely
+    DIRECT = "direct"  # per-execution check remains at the site
+    ELIMINATED = "eliminated"  # covered by a merged/promoted check
+    CACHED = "cached"  # guarded through a quasi-bound cache
+
+
+# ----------------------------------------------------------------------
+# instructions
+# ----------------------------------------------------------------------
+@dataclass
+class Instr:
+    """Base class for instructions."""
+
+
+@dataclass
+class Assign(Instr):
+    dst: str
+    expr: Expr
+
+
+@dataclass
+class Load(Instr):
+    """``dst = *(base + offset)`` with ``width`` bytes."""
+
+    dst: str
+    base: str
+    offset: Expr
+    width: int = 8
+    site_id: int = -1
+    protection: Protection = Protection.DIRECT
+
+
+@dataclass
+class Store(Instr):
+    """``*(base + offset) = value`` with ``width`` bytes."""
+
+    base: str
+    offset: Expr
+    width: int
+    value: Expr
+    site_id: int = -1
+    protection: Protection = Protection.DIRECT
+
+
+@dataclass
+class Malloc(Instr):
+    dst: str
+    size: Expr
+
+
+@dataclass
+class Free(Instr):
+    ptr: str
+
+
+@dataclass
+class PtrAdd(Instr):
+    """``dst = base + offset`` where base is a pointer-typed local."""
+
+    dst: str
+    base: str
+    offset: Expr
+
+
+@dataclass
+class Memset(Instr):
+    base: str
+    offset: Expr
+    length: Expr
+    byte: Expr = field(default_factory=lambda: Const(0))
+    site_id: int = -1
+    protection: Protection = Protection.DIRECT
+
+
+@dataclass
+class Memcpy(Instr):
+    dst_base: str
+    dst_offset: Expr
+    src_base: str
+    src_offset: Expr
+    length: Expr
+    site_id: int = -1
+    protection: Protection = Protection.DIRECT
+
+
+@dataclass
+class Strcpy(Instr):
+    """C-string copy; length discovered at runtime (guardian territory)."""
+
+    dst_base: str
+    dst_offset: Expr
+    src_base: str
+    src_offset: Expr
+    site_id: int = -1
+    protection: Protection = Protection.DIRECT
+
+
+@dataclass
+class Compute(Instr):
+    """Pure ALU/FPU work worth ``cycles`` native cycles.
+
+    Stands in for the arithmetic real programs interleave between memory
+    accesses (one interpreter step regardless of the amount), so proxies
+    can model realistic compute-to-memory ratios without interpretive
+    cost.
+    """
+
+    cycles: float = 1.0
+
+
+@dataclass
+class Loop(Instr):
+    """``for (var = start; var < end; var += step) body``.
+
+    ``bounded`` marks whether SCEV-style analysis may assume the trip
+    count is computable before entry (False models data-dependent
+    ``while`` loops, where only history caching helps).
+    """
+
+    var: str
+    start: Expr
+    end: Expr
+    body: List[Instr]
+    step: int = 1
+    bounded: bool = True
+    reverse: bool = False
+
+
+@dataclass
+class If(Instr):
+    cond: Expr
+    then: List[Instr]
+    orelse: List[Instr] = field(default_factory=list)
+
+
+@dataclass
+class Call(Instr):
+    func: str
+    args: List[Expr] = field(default_factory=list)
+    dst: Optional[str] = None
+
+
+@dataclass
+class Return(Instr):
+    expr: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# check instructions (inserted by instrumentation only)
+# ----------------------------------------------------------------------
+@dataclass
+class CheckAccess(Instr):
+    """Instruction-level guard of ``base[offset .. offset+width)``."""
+
+    base: str
+    offset: Expr
+    width: int
+    access: AccessType
+    site_id: int = -1
+
+
+@dataclass
+class CheckRegion(Instr):
+    """Operation-level guard of ``base[start .. end)``.
+
+    ``use_anchor`` passes the base pointer as the anchor so anchor-capable
+    tools widen the region to start at the object base.
+    """
+
+    base: str
+    start: Expr
+    end: Expr
+    access: AccessType
+    use_anchor: bool = True
+    site_id: int = -1
+
+
+@dataclass
+class CheckCached(Instr):
+    """History-cached guard of ``base[offset .. offset+width)``."""
+
+    cache_id: int
+    base: str
+    offset: Expr
+    width: int
+    access: AccessType
+    site_id: int = -1
+
+
+@dataclass
+class CacheFinalize(Instr):
+    """Post-loop ``CI(base, base + ub)`` (Figure 9 line 14): catches
+    deallocation races the cached fast path skipped."""
+
+    cache_id: int
+    base: str
+    access: AccessType = AccessType.READ
+
+
+@dataclass
+class StackAlloc(Instr):
+    """Declare a stack buffer local to the enclosing function."""
+
+    dst: str
+    size: int
+
+
+@dataclass
+class GlobalAlloc(Instr):
+    """Define a global buffer (immortal, redzone-padded)."""
+
+    dst: str
+    size: int
+
+
+MEMORY_INSTRS: Tuple[type, ...] = (Load, Store, Memset, Memcpy, Strcpy)
+CHECK_INSTRS: Tuple[type, ...] = (
+    CheckAccess,
+    CheckRegion,
+    CheckCached,
+    CacheFinalize,
+)

@@ -1,0 +1,126 @@
+"""Textual dump of (instrumented) IR, for debugging and documentation.
+
+The printed form mirrors the paper's Figure 8 listings: check instances
+appear as ``CI(base + start, base + end)`` lines so one can eyeball what
+each tool's pipeline produced.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .nodes import (
+    Assign,
+    CacheFinalize,
+    Call,
+    Compute,
+    GlobalAlloc,
+    CheckAccess,
+    CheckCached,
+    CheckRegion,
+    Free,
+    If,
+    Instr,
+    Load,
+    Loop,
+    Malloc,
+    Memcpy,
+    Memset,
+    PtrAdd,
+    Return,
+    StackAlloc,
+    Store,
+    Strcpy,
+)
+from .program import Function, Program
+
+
+def _line(instr: Instr) -> str:
+    if isinstance(instr, Assign):
+        return f"{instr.dst} = {instr.expr}"
+    if isinstance(instr, Load):
+        return f"{instr.dst} = load{instr.width} {instr.base}[{instr.offset}]"
+    if isinstance(instr, Store):
+        return f"store{instr.width} {instr.base}[{instr.offset}] = {instr.value}"
+    if isinstance(instr, Malloc):
+        return f"{instr.dst} = malloc({instr.size})"
+    if isinstance(instr, StackAlloc):
+        return f"{instr.dst} = alloca({instr.size})"
+    if isinstance(instr, GlobalAlloc):
+        return f"{instr.dst} = global({instr.size})"
+    if isinstance(instr, Free):
+        return f"free({instr.ptr})"
+    if isinstance(instr, PtrAdd):
+        return f"{instr.dst} = {instr.base} + {instr.offset}"
+    if isinstance(instr, Memset):
+        return f"memset({instr.base} + {instr.offset}, {instr.byte}, {instr.length})"
+    if isinstance(instr, Memcpy):
+        return (
+            f"memcpy({instr.dst_base} + {instr.dst_offset}, "
+            f"{instr.src_base} + {instr.src_offset}, {instr.length})"
+        )
+    if isinstance(instr, Strcpy):
+        return (
+            f"strcpy({instr.dst_base} + {instr.dst_offset}, "
+            f"{instr.src_base} + {instr.src_offset})"
+        )
+    if isinstance(instr, Compute):
+        return f"compute({instr.cycles})"
+    if isinstance(instr, Call):
+        args = ", ".join(str(a) for a in instr.args)
+        prefix = f"{instr.dst} = " if instr.dst else ""
+        return f"{prefix}call {instr.func}({args})"
+    if isinstance(instr, Return):
+        return f"return {instr.expr}" if instr.expr is not None else "return"
+    if isinstance(instr, CheckAccess):
+        return (
+            f"CHECK {instr.base}[{instr.offset} .. {instr.offset}+{instr.width})"
+            f" [{instr.access.value}]"
+        )
+    if isinstance(instr, CheckRegion):
+        anchor = " anchored" if instr.use_anchor else ""
+        return (
+            f"CI({instr.base} + {instr.start}, {instr.base} + {instr.end})"
+            f" [{instr.access.value}]{anchor}"
+        )
+    if isinstance(instr, CheckCached):
+        return (
+            f"CI_cached#{instr.cache_id} {instr.base}"
+            f"[{instr.offset} .. +{instr.width}) [{instr.access.value}]"
+        )
+    if isinstance(instr, CacheFinalize):
+        return f"CI({instr.base}, {instr.base} + ub#{instr.cache_id})"
+    return repr(instr)
+
+
+def _render(block: List[Instr], indent: int, out: List[str]) -> None:
+    pad = "  " * indent
+    for instr in block:
+        if isinstance(instr, Loop):
+            arrow = "down to" if instr.reverse else "to"
+            bound = "" if instr.bounded else "  # unbounded"
+            out.append(
+                f"{pad}for {instr.var} = {instr.start} {arrow} {instr.end}"
+                f" step {instr.step}:{bound}"
+            )
+            _render(instr.body, indent + 1, out)
+        elif isinstance(instr, If):
+            out.append(f"{pad}if {instr.cond}:")
+            _render(instr.then, indent + 1, out)
+            if instr.orelse:
+                out.append(f"{pad}else:")
+                _render(instr.orelse, indent + 1, out)
+        else:
+            out.append(pad + _line(instr))
+
+
+def format_function(function: Function) -> str:
+    lines = [f"def {function.name}({', '.join(function.params)}):"]
+    _render(function.body, 1, lines)
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    return "\n\n".join(
+        format_function(f) for f in program.functions.values()
+    )

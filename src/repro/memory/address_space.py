@@ -1,0 +1,100 @@
+"""Byte-accurate simulated address space.
+
+This is the substrate the sanitizers protect: a flat range of bytes split
+into heap / stack / globals arenas (see :mod:`repro.memory.layout`).  It
+stores real data so workloads can compute with loaded values (the paper's
+``y[j] = x[i]`` pattern needs genuine loads), and it performs *no* safety
+checking of its own beyond arena bounds — safety is the sanitizers' job.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from ..errors import AddressSpaceError
+from .layout import ArenaLayout
+
+_STRUCT_BY_WIDTH = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
+_MASK_BY_WIDTH = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF, 8: 0xFFFFFFFFFFFFFFFF}
+
+
+class AddressSpace:
+    """A flat, byte-addressable memory with arena bookkeeping.
+
+    Addresses are plain integers.  ``load``/``store`` move little-endian
+    integers of width 1, 2, 4, or 8; ``read_bytes``/``write_bytes`` move
+    raw ranges (used by the memset/memcpy intrinsics).
+    """
+
+    def __init__(self, layout: ArenaLayout = None):
+        self.layout = layout or ArenaLayout()
+        self._mem = bytearray(self.layout.total_size)
+
+    def __len__(self) -> int:
+        return self.layout.total_size
+
+    def _bounds_check(self, address: int, size: int) -> None:
+        if address < 0 or address + size > len(self._mem):
+            raise AddressSpaceError(
+                f"access [{address:#x}, {address + size:#x}) leaves the "
+                f"simulated address space of {len(self._mem):#x} bytes"
+            )
+
+    def load(self, address: int, width: int) -> int:
+        """Load a ``width``-byte little-endian unsigned integer."""
+        fmt = _STRUCT_BY_WIDTH.get(width)
+        if fmt is None:
+            raise ValueError(f"unsupported load width: {width}")
+        self._bounds_check(address, width)
+        return struct.unpack_from(fmt, self._mem, address)[0]
+
+    def store(self, address: int, width: int, value: int) -> None:
+        """Store a ``width``-byte little-endian unsigned integer."""
+        fmt = _STRUCT_BY_WIDTH.get(width)
+        if fmt is None:
+            raise ValueError(f"unsupported store width: {width}")
+        self._bounds_check(address, width)
+        struct.pack_into(fmt, self._mem, address, value & _MASK_BY_WIDTH[width])
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        """Copy ``size`` raw bytes out of memory."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._bounds_check(address, size)
+        return bytes(self._mem[address : address + size])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Copy raw bytes into memory."""
+        self._bounds_check(address, len(data))
+        self._mem[address : address + len(data)] = data
+
+    def fill(self, address: int, size: int, byte: int) -> None:
+        """memset: set ``size`` bytes to ``byte``."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._bounds_check(address, size)
+        self._mem[address : address + size] = bytes([byte & 0xFF]) * size
+
+    def copy(self, dst: int, src: int, size: int) -> None:
+        """memmove-style copy that tolerates overlap."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._bounds_check(src, size)
+        self._bounds_check(dst, size)
+        self._mem[dst : dst + size] = bytes(self._mem[src : src + size])
+
+    def find_byte(self, address: int, byte: int, limit: int) -> int:
+        """Offset of the first occurrence of ``byte`` in ``[address,
+        address+limit)``, or -1 when absent (strlen support)."""
+        self._bounds_check(address, limit)
+        index = self._mem.find(bytes([byte & 0xFF]), address, address + limit)
+        return -1 if index < 0 else index - address
+
+    def arena_of(self, address: int) -> str:
+        """Arena name for ``address`` (delegates to the layout)."""
+        return self.layout.arena_of(address)
+
+    def snapshot(self, addresses: Iterable[int]) -> bytes:
+        """Bytes at the given addresses, for debugging and tests."""
+        return bytes(self._mem[a] for a in addresses)

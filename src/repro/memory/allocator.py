@@ -1,0 +1,248 @@
+"""Simulated heap allocator with redzones, mirroring compiler-rt's design.
+
+Every allocation is carved as ``[left redzone][object][right redzone]``.
+Objects are 8-byte aligned (paper §4.1), and the redzone width is
+configurable — the paper evaluates 16-byte and 512-byte redzones for ASan
+and shows GiantSan needs only 1 byte thanks to anchor-based checks.
+
+The allocator is policy-parameterized: baselines like LFP round the
+*usable* size up to a size class, which is exactly what produces their
+false negatives (accesses inside the rounding slack hit allocated-but-
+unrequested bytes instead of a redzone).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import AllocationError
+from .layout import OBJECT_ALIGNMENT, align_up
+from .address_space import AddressSpace
+
+
+class AllocationState(enum.Enum):
+    LIVE = "live"
+    QUARANTINED = "quarantined"
+    RECYCLED = "recycled"
+
+
+@dataclass
+class Allocation:
+    """Bookkeeping for one heap object and its redzones."""
+
+    allocation_id: int
+    base: int
+    requested_size: int
+    usable_size: int
+    left_redzone: int
+    right_redzone: int
+    state: AllocationState = AllocationState.LIVE
+
+    @property
+    def end(self) -> int:
+        """One past the last *requested* byte."""
+        return self.base + self.requested_size
+
+    @property
+    def usable_end(self) -> int:
+        """One past the last *usable* byte (== end unless a rounding
+        policy granted slack, as in LFP/BBC)."""
+        return self.base + self.usable_size
+
+    @property
+    def chunk_base(self) -> int:
+        return self.base - self.left_redzone
+
+    @property
+    def chunk_end(self) -> int:
+        return self.usable_end + self.right_redzone
+
+    @property
+    def chunk_size(self) -> int:
+        return self.chunk_end - self.chunk_base
+
+    def contains(self, address: int) -> bool:
+        """True when ``address`` lies in the requested object region."""
+        return self.base <= address < self.end
+
+
+#: A size policy maps the requested size to the usable size the allocator
+#: actually reserves.  The default is exact (aligned) sizing.
+SizePolicy = Callable[[int], int]
+
+
+def exact_size_policy(requested: int) -> int:
+    """Reserve exactly the requested bytes (redzone starts right after,
+    up to 8-byte alignment of the *chunk*, not the object end)."""
+    return requested
+
+
+def power_of_two_policy(requested: int) -> int:
+    """BBC-style rounding: usable size is the next power of two.
+
+    This is the policy whose slack swallows overflows like ``p[700]`` on a
+    600-byte buffer (paper §2.1).
+    """
+    if requested <= 1:
+        return 1
+    return 1 << (requested - 1).bit_length()
+
+
+def low_fat_policy(requested: int) -> int:
+    """LFP-style size classes: powers of two plus 1.25/1.5/1.75 midpoints.
+
+    LFP improves on BBC by allowing more size classes, shrinking — but not
+    eliminating — the rounding slack.
+    """
+    if requested <= 16:
+        return 16
+    power = 1 << (requested.bit_length() - 1)
+    for numerator in (4, 5, 6, 7, 8):
+        candidate = power * numerator // 4
+        if requested <= candidate:
+            return candidate
+    return power * 2
+
+
+class HeapAllocator:
+    """First-fit heap allocator over the heap arena of an address space.
+
+    Freed chunks are returned through :meth:`release_chunk` (normally by
+    the quarantine once its budget evicts them) and recycled by exact
+    chunk size, which matches compiler-rt's size-class freelists closely
+    enough for the paper's experiments.
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        redzone: int = 16,
+        size_policy: SizePolicy = exact_size_policy,
+    ):
+        if redzone < 0:
+            raise ValueError("redzone must be non-negative")
+        self.space = space
+        self.redzone = redzone
+        self.size_policy = size_policy
+        self._cursor = space.layout.heap_base
+        self._limit = space.layout.heap_end
+        self._free_lists: Dict[int, List[int]] = {}
+        self._live: Dict[int, Allocation] = {}
+        self._by_id: Dict[int, Allocation] = {}
+        self._next_id = 1
+        self.total_allocated = 0
+        self.peak_in_use = 0
+        self._in_use = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def malloc(self, size: int) -> Allocation:
+        """Allocate ``size`` bytes; returns the :class:`Allocation`.
+
+        The base address is always 8-byte aligned and the chunk is padded
+        so neighbouring chunks never share a shadow segment.
+        """
+        if size < 0:
+            raise AllocationError(f"negative allocation size: {size}")
+        usable = self.size_policy(max(size, 1))
+        if usable < size:
+            raise AllocationError(
+                f"size policy shrank the request: {size} -> {usable}"
+            )
+        left = align_up(max(self.redzone, 0), OBJECT_ALIGNMENT) if self.redzone else 0
+        # Right redzone absorbs the alignment padding after the object, so
+        # the chunk end is segment aligned and chunks never share segments.
+        right_start = usable
+        chunk_size = align_up(left + right_start + max(self.redzone, 1), OBJECT_ALIGNMENT)
+        chunk_base = self._acquire_chunk(chunk_size)
+        base = chunk_base + left
+        allocation = Allocation(
+            allocation_id=self._next_id,
+            base=base,
+            requested_size=size,
+            usable_size=usable,
+            left_redzone=left,
+            right_redzone=chunk_base + chunk_size - (base + usable),
+        )
+        self._next_id += 1
+        self._live[base] = allocation
+        self._by_id[allocation.allocation_id] = allocation
+        self.total_allocated += size
+        self._in_use += allocation.chunk_size
+        self.peak_in_use = max(self.peak_in_use, self._in_use)
+        return allocation
+
+    def _acquire_chunk(self, chunk_size: int) -> int:
+        free = self._free_lists.get(chunk_size)
+        if free:
+            return free.pop()
+        base = self._cursor
+        if base + chunk_size > self._limit:
+            raise AllocationError(
+                f"heap arena exhausted: need {chunk_size} bytes, "
+                f"{self._limit - base} remain"
+            )
+        self._cursor += chunk_size
+        return base
+
+    # ------------------------------------------------------------------
+    # deallocation
+    # ------------------------------------------------------------------
+    def free(self, address: int) -> Allocation:
+        """Mark the allocation based at ``address`` as freed.
+
+        The chunk is *not* reusable until :meth:`release_chunk` is called
+        (the quarantine owns that decision).  Raises
+        :class:`AllocationError` for invalid or double frees — callers
+        that want a report instead should use :meth:`lookup` first.
+        """
+        allocation = self._live.get(address)
+        if allocation is None or allocation.state is not AllocationState.LIVE:
+            raise AllocationError(f"invalid free of address {address:#x}")
+        allocation.state = AllocationState.QUARANTINED
+        del self._live[address]
+        return allocation
+
+    def release_chunk(self, allocation: Allocation) -> None:
+        """Return a quarantined chunk to the freelist for reuse."""
+        if allocation.state is not AllocationState.QUARANTINED:
+            raise AllocationError(
+                f"allocation {allocation.allocation_id} is not quarantined"
+            )
+        allocation.state = AllocationState.RECYCLED
+        self._in_use -= allocation.chunk_size
+        self._free_lists.setdefault(allocation.chunk_size, []).append(
+            allocation.chunk_base
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> Optional[Allocation]:
+        """The live allocation whose base is exactly ``address``."""
+        return self._live.get(address)
+
+    def find_containing(self, address: int) -> Optional[Allocation]:
+        """The live allocation whose requested region contains ``address``.
+
+        Linear in the number of live objects; used only for diagnostics
+        and report enrichment, never on the hot check path.
+        """
+        for allocation in self._live.values():
+            if allocation.contains(address):
+                return allocation
+        return None
+
+    def by_id(self, allocation_id: int) -> Optional[Allocation]:
+        return self._by_id.get(allocation_id)
+
+    @property
+    def live_allocations(self) -> List[Allocation]:
+        return list(self._live.values())
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self._in_use

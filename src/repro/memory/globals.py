@@ -1,0 +1,63 @@
+"""Global-variable allocator: a bump allocator over the globals arena.
+
+ASan instruments global variables by padding each with a redzone at
+compile time; they live for the whole execution (no free).  This mirrors
+that: globals are carved once, 8-byte aligned, separated by redzone
+gaps, and never recycled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import AllocationError
+from .layout import OBJECT_ALIGNMENT, align_up
+from .address_space import AddressSpace
+
+
+@dataclass
+class GlobalVariable:
+    """One global: a named, immortal region."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+class GlobalAllocator:
+    """Carves globals out of the globals arena, with redzone gaps."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        redzone: int = 16,
+        alignment: int = OBJECT_ALIGNMENT,
+    ):
+        self.space = space
+        self.redzone = max(redzone, 0)
+        self.alignment = alignment
+        self._cursor = space.layout.globals_base
+        self._limit = space.layout.globals_end
+        self._variables: List[GlobalVariable] = []
+
+    def define(self, name: str, size: int) -> GlobalVariable:
+        """Define one global of ``size`` bytes; returns its record."""
+        if size <= 0:
+            raise AllocationError(f"global {name!r} has size {size}")
+        base = align_up(self._cursor + self.redzone, self.alignment)
+        end = align_up(base + size, self.alignment)
+        if end + self.redzone > self._limit:
+            raise AllocationError("globals arena exhausted")
+        variable = GlobalVariable(name=name, base=base, size=size)
+        self._variables.append(variable)
+        self._cursor = end
+        return variable
+
+    @property
+    def variables(self) -> List[GlobalVariable]:
+        return list(self._variables)

@@ -1,0 +1,69 @@
+"""FIFO memory quarantine for temporal-error detection.
+
+Freed chunks stay non-addressable for a while before being recycled, so a
+use-after-free lands on a "freed" shadow state instead of a reallocated
+object (paper §2.2).  Like compiler-rt, the quarantine has a byte budget:
+when it overflows, the oldest chunks are evicted and become reusable —
+which is why quarantine bypassing is possible "with a small probability"
+(paper §5.4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List
+
+from .allocator import Allocation
+
+
+class Quarantine:
+    """Bounded FIFO of freed allocations awaiting recycling."""
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        on_evict: Callable[[Allocation], None],
+    ):
+        if budget_bytes < 0:
+            raise ValueError("quarantine budget must be non-negative")
+        self.budget_bytes = budget_bytes
+        self._on_evict = on_evict
+        self._queue: Deque[Allocation] = deque()
+        self._held_bytes = 0
+        self.total_quarantined = 0
+        self.total_evicted = 0
+
+    def push(self, allocation: Allocation) -> List[Allocation]:
+        """Quarantine a freed allocation; returns any evicted chunks.
+
+        Eviction calls the ``on_evict`` hook (which unpoisons shadow and
+        returns the chunk to the allocator freelist) before returning.
+        """
+        self._queue.append(allocation)
+        self._held_bytes += allocation.chunk_size
+        self.total_quarantined += 1
+        evicted: List[Allocation] = []
+        while self._held_bytes > self.budget_bytes and self._queue:
+            oldest = self._queue.popleft()
+            self._held_bytes -= oldest.chunk_size
+            self.total_evicted += 1
+            self._on_evict(oldest)
+            evicted.append(oldest)
+        return evicted
+
+    def drain(self) -> List[Allocation]:
+        """Evict everything (used at session teardown)."""
+        evicted = list(self._queue)
+        self._queue.clear()
+        self._held_bytes = 0
+        for allocation in evicted:
+            self.total_evicted += 1
+            self._on_evict(allocation)
+        return evicted
+
+    @property
+    def held_bytes(self) -> int:
+        return self._held_bytes
+
+    def __len__(self) -> int:
+        return len(self._queue)

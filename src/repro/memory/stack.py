@@ -1,0 +1,115 @@
+"""Simulated stack with poisoned frame slots.
+
+ASan-style stack instrumentation places each addressable local variable in
+its own 8-byte-aligned slot separated by poisoned gaps, so stack buffer
+overflows hit shadow poison.  Frames are pushed/popped LIFO; popping a
+frame leaves its whole extent poisoned, which is how use-after-return is
+caught while the address range stays un-recycled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import AllocationError
+from .layout import OBJECT_ALIGNMENT, align_up
+from .address_space import AddressSpace
+
+
+@dataclass
+class StackVariable:
+    """One local variable placed in a stack frame."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+@dataclass
+class StackFrame:
+    """One function frame: a contiguous extent holding its variables."""
+
+    frame_id: int
+    base: int
+    size: int
+    variables: List[StackVariable] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+class StackAllocator:
+    """LIFO frame allocator over the stack arena.
+
+    The gap between consecutive variables inside a frame acts as a stack
+    redzone (default 16 bytes, mirroring ASan's inter-variable poison).
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        redzone: int = 16,
+        alignment: int = OBJECT_ALIGNMENT,
+    ):
+        self.space = space
+        self.redzone = max(redzone, 0)
+        self.alignment = alignment
+        self._base = space.layout.stack_base
+        self._limit = space.layout.stack_end
+        self._cursor = self._base
+        self._frames: List[StackFrame] = []
+        self._saved_cursors: List[int] = []
+        self._next_frame_id = 1
+
+    def push_frame(self, sizes: List[int], names: List[str] = None) -> StackFrame:
+        """Create a frame with one variable per entry in ``sizes``."""
+        if names is None:
+            names = [f"var{i}" for i in range(len(sizes))]
+        if len(names) != len(sizes):
+            raise ValueError("names and sizes must have equal length")
+        frame_base = align_up(self._cursor + self.redzone, self.alignment)
+        cursor = frame_base
+        variables = []
+        for name, size in zip(names, sizes):
+            if size <= 0:
+                raise AllocationError(f"stack variable {name} has size {size}")
+            variables.append(StackVariable(name=name, base=cursor, size=size))
+            cursor = align_up(cursor + size + self.redzone, self.alignment)
+        if cursor > self._limit:
+            raise AllocationError("stack arena exhausted")
+        frame = StackFrame(
+            frame_id=self._next_frame_id,
+            base=frame_base,
+            size=cursor - frame_base,
+            variables=variables,
+        )
+        self._next_frame_id += 1
+        self._frames.append(frame)
+        self._saved_cursors.append(self._cursor)
+        self._cursor = cursor
+        return frame
+
+    def pop_frame(self) -> StackFrame:
+        """Pop the most recent frame; its extent stays poisoned by the
+        sanitizer until a later frame reuses the addresses."""
+        if not self._frames:
+            raise AllocationError("pop_frame on an empty stack")
+        frame = self._frames.pop()
+        self._cursor = self._saved_cursors.pop()
+        return frame
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    @property
+    def current_frame(self) -> StackFrame:
+        if not self._frames:
+            raise AllocationError("no active stack frame")
+        return self._frames[-1]

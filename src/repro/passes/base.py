@@ -1,0 +1,55 @@
+"""Pass infrastructure: a tiny analogue of LLVM's pass manager.
+
+Passes mutate a cloned :class:`~repro.ir.program.Program` in place and
+record what they did in :class:`PassStats`, which the Figure 10 harness
+reads (how many checks each optimization removed, cached, or merged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..ir.program import Program
+
+
+@dataclass
+class PassStats:
+    """Instrumentation-time counters, keyed per pass."""
+
+    #: Checks present right after baseline placement.
+    baseline_checks: int = 0
+    #: CheckAccess/CheckRegion sites removed by merging/elimination.
+    eliminated: int = 0
+    #: Sites promoted out of loops into one region check.
+    promoted: int = 0
+    #: Sites rewritten to cached checks.
+    cached_sites: int = 0
+    #: Remaining per-site checks after the whole pipeline.
+    remaining_checks: int = 0
+    notes: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.notes[key] = self.notes.get(key, 0) + amount
+
+
+class Pass:
+    """One transformation over a program."""
+
+    name = "pass"
+
+    def run(self, program: Program, stats: PassStats) -> None:
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a pass list in order, collecting shared stats."""
+
+    def __init__(self, passes: List[Pass]):
+        self.passes = passes
+
+    def run(self, program: Program) -> PassStats:
+        stats = PassStats()
+        for p in self.passes:
+            p.run(program, stats)
+        return stats

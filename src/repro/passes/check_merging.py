@@ -1,0 +1,196 @@
+"""Aliased-check elimination and constant-offset check merging (§4.4.2).
+
+Two transformations run within straight-line windows of each block
+(windows end at calls, frees, and control flow, where addressability
+facts may change):
+
+* **Duplicate elimination** — a check made redundant by an earlier
+  must-aliased check in the window is dropped (this is ASan--'s core
+  optimization, also used by GiantSan).
+* **Constant-offset merging** — for region-capable tools, checks on the
+  same object with constant offsets collapse into a single region check
+  covering their span: Figure 8's ``CI(p, p+4); CI(p, p+8)`` becoming
+  ``CI(p, p+8)``; Table 1's ``p[0] + p[10] + p[20]`` costing one check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.nodes import (
+    BinOp,
+    Call,
+    GlobalAlloc,
+    CheckAccess,
+    CheckRegion,
+    Const,
+    Expr,
+    Free,
+    If,
+    Instr,
+    Load,
+    Loop,
+    Malloc,
+    Memcpy,
+    Memset,
+    Protection,
+    StackAlloc,
+    Store,
+    Strcpy,
+    Var,
+)
+from ..ir.program import Program, transform_blocks, walk
+from .alias import ProvenanceMap
+from .base import Pass, PassStats
+from .constprop import fold
+
+#: Instructions that end a merging window.
+_BARRIERS = (Call, Free, Loop, If, Malloc, StackAlloc, GlobalAlloc)
+
+
+def _total_offset(pmap: ProvenanceMap, base: str, offset: Expr) -> Optional[Tuple[str, Expr]]:
+    """(root, folded total offset) for base+offset, or None if unknown."""
+    prov = pmap.provenance(base)
+    if prov is None:
+        return None
+    return prov.root, fold(BinOp("+", prov.offset, offset))
+
+
+class AliasedCheckElimination(Pass):
+    """Remove checks covered by an earlier must-aliased check."""
+
+    name = "aliased-check-elimination"
+
+    def run(self, program: Program, stats: PassStats) -> None:
+        sites = _site_map(program)
+        for function in program.functions.values():
+            pmap = ProvenanceMap(function)
+            function.body = transform_blocks(
+                function.body, lambda block: self._process(block, pmap, stats, sites)
+            )
+
+    def _process(
+        self, block: List[Instr], pmap: ProvenanceMap, stats: PassStats, sites
+    ) -> List[Instr]:
+        seen: Dict[tuple, bool] = {}
+        result: List[Instr] = []
+        for instr in block:
+            if isinstance(instr, _BARRIERS):
+                seen.clear()
+                result.append(instr)
+                continue
+            key = self._key(instr, pmap)
+            if key is not None:
+                if key in seen:
+                    stats.eliminated += 1
+                    site = sites.get(getattr(instr, "site_id", -1))
+                    if site is not None:
+                        site.protection = Protection.ELIMINATED
+                    continue  # drop the redundant check
+                seen[key] = True
+            result.append(instr)
+        return result
+
+    @staticmethod
+    def _key(instr: Instr, pmap: ProvenanceMap) -> Optional[tuple]:
+        # the access direction is irrelevant: location-based checks test
+        # addressability, which reads and writes share
+        if isinstance(instr, CheckAccess):
+            total = _total_offset(pmap, instr.base, instr.offset)
+            if total is None:
+                return None
+            return ("access", total[0], total[1], instr.width)
+        if isinstance(instr, CheckRegion):
+            start = _total_offset(pmap, instr.base, instr.start)
+            end = _total_offset(pmap, instr.base, instr.end)
+            if start is None or end is None:
+                return None
+            return ("region", start[0], start[1], end[1])
+        return None
+
+
+class ConstantOffsetMerging(Pass):
+    """Collapse same-object constant-offset region checks into one.
+
+    Only valid for tools whose region checks are O(1) at any size
+    (GiantSan); merging for ASan would trade N cheap checks for one scan
+    of the same total cost.
+    """
+
+    name = "constant-offset-merging"
+
+    def run(self, program: Program, stats: PassStats) -> None:
+        sites = _site_map(program)
+        for function in program.functions.values():
+            pmap = ProvenanceMap(function)
+            function.body = transform_blocks(
+                function.body, lambda block: self._merge(block, pmap, stats, sites)
+            )
+
+    def _merge(
+        self, block: List[Instr], pmap: ProvenanceMap, stats: PassStats, sites
+    ) -> List[Instr]:
+        result: List[Instr] = []
+        #: root -> (result index of the anchor check, anchor's own
+        #: root-relative base offset, merged min_off, merged max_off)
+        groups: Dict[str, Tuple[int, int, int, int]] = {}
+        for instr in block:
+            if isinstance(instr, _BARRIERS):
+                groups.clear()
+                result.append(instr)
+                continue
+            span = self._const_span(instr, pmap)
+            if span is None:
+                result.append(instr)
+                continue
+            root, base_off, low, high = span
+            if root in groups:
+                index, anchor_off, cur_low, cur_high = groups[root]
+                merged_low = min(cur_low, low)
+                merged_high = max(cur_high, high)
+                anchor_check: CheckRegion = result[index]  # type: ignore[assignment]
+                # offsets are root-relative; rebase onto the anchor check's
+                # own base pointer before storing them in the instruction
+                anchor_check.start = Const(merged_low - anchor_off)
+                anchor_check.end = Const(merged_high - anchor_off)
+                groups[root] = (index, anchor_off, merged_low, merged_high)
+                stats.eliminated += 1
+                site = sites.get(instr.site_id)
+                if site is not None:
+                    site.protection = Protection.ELIMINATED
+                continue  # drop: folded into the anchor check
+            groups[root] = (len(result), base_off, low, high)
+            result.append(instr)
+        return result
+
+    @staticmethod
+    def _const_span(
+        instr: Instr, pmap: ProvenanceMap
+    ) -> Optional[Tuple[str, int, int, int]]:
+        """(root, base_offset, abs_start, abs_end) for constant spans."""
+        if not isinstance(instr, CheckRegion):
+            return None
+        prov = pmap.provenance(instr.base)
+        if prov is None or not isinstance(prov.offset, Const):
+            return None
+        start = fold(instr.start)
+        end = fold(instr.end)
+        if not isinstance(start, Const) or not isinstance(end, Const):
+            return None
+        return (
+            prov.root,
+            prov.offset.value,
+            prov.offset.value + start.value,
+            prov.offset.value + end.value,
+        )
+
+
+def _site_map(program: Program) -> Dict[int, Instr]:
+    """site_id -> memory instruction, for protection tagging."""
+    mapping: Dict[int, Instr] = {}
+    for function in program.functions.values():
+        for instr in walk(function.body):
+            if isinstance(instr, (Load, Store, Memset, Memcpy, Strcpy)):
+                if instr.site_id >= 0:
+                    mapping[instr.site_id] = instr
+    return mapping

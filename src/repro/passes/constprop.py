@@ -1,0 +1,164 @@
+"""Constant folding and propagation over the IR.
+
+The paper's check-merging examples (Table 1 first row, Figure 8) rely on
+constant propagation to see that ``p[0]``, ``p[10]``, ``p[20]`` are the
+same base with constant offsets.  This pass folds expressions and
+propagates constants through straight-line code, conservatively dropping
+facts at control-flow joins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.nodes import (
+    Assign,
+    BinOp,
+    GlobalAlloc,
+    Call,
+    Const,
+    Expr,
+    Free,
+    If,
+    Instr,
+    Load,
+    Loop,
+    Malloc,
+    Memcpy,
+    Memset,
+    PtrAdd,
+    Return,
+    StackAlloc,
+    Store,
+    Strcpy,
+    Var,
+)
+from ..ir.program import Program, walk
+from .base import Pass, PassStats
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b if b else 0,
+    "%": lambda a, b: a % b if b else 0,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+}
+
+
+def fold(expr: Expr, env: Optional[Dict[str, int]] = None) -> Expr:
+    """Fold ``expr`` given known constants; returns a simplified Expr."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        if env and expr.name in env:
+            return Const(env[expr.name])
+        return expr
+    if isinstance(expr, BinOp):
+        left = fold(expr.left, env)
+        right = fold(expr.right, env)
+        if isinstance(left, Const) and isinstance(right, Const):
+            return Const(_ARITH[expr.op](left.value, right.value))
+        # algebraic identities keep promoted bounds readable
+        if expr.op == "+" and isinstance(right, Const) and right.value == 0:
+            return left
+        if expr.op == "+" and isinstance(left, Const) and left.value == 0:
+            return right
+        if expr.op == "*" and isinstance(right, Const) and right.value == 1:
+            return left
+        if expr.op == "*" and isinstance(left, Const) and left.value == 1:
+            return right
+        if expr.op == "-" and isinstance(right, Const) and right.value == 0:
+            return left
+        return BinOp(expr.op, left, right)
+    return expr
+
+
+def eval_const(expr: Expr) -> Optional[int]:
+    """The constant value of ``expr``, or None when not a constant."""
+    folded = fold(expr)
+    return folded.value if isinstance(folded, Const) else None
+
+
+def assigned_vars(block: List[Instr]) -> Set[str]:
+    """Every variable assigned anywhere inside a block tree."""
+    names: Set[str] = set()
+    for instr in walk(block):
+        for attr in ("dst", "var"):
+            value = getattr(instr, attr, None)
+            if isinstance(value, str):
+                names.add(value)
+    return names
+
+
+def _fold_instr_exprs(instr: Instr, env: Dict[str, int]) -> None:
+    """Fold every expression field of one instruction in place."""
+    for attr in (
+        "expr",
+        "offset",
+        "size",
+        "length",
+        "byte",
+        "value",
+        "dst_offset",
+        "src_offset",
+        "start",
+        "end",
+    ):
+        value = getattr(instr, attr, None)
+        if isinstance(value, Expr):
+            setattr(instr, attr, fold(value, env))
+    if isinstance(instr, Call):
+        instr.args = [fold(a, env) for a in instr.args]
+
+
+def _propagate_block(block: List[Instr], env: Dict[str, int]) -> None:
+    for instr in block:
+        _fold_instr_exprs(instr, env)
+        if isinstance(instr, Assign):
+            folded = instr.expr
+            if isinstance(folded, Const):
+                env[instr.dst] = folded.value
+            else:
+                env.pop(instr.dst, None)
+        elif isinstance(instr, (Load, Malloc, StackAlloc, GlobalAlloc, PtrAdd)):
+            env.pop(instr.dst, None)
+        elif isinstance(instr, Call):
+            if instr.dst:
+                env.pop(instr.dst, None)
+        elif isinstance(instr, Loop):
+            killed = assigned_vars(instr.body) | {instr.var}
+            inner = {k: v for k, v in env.items() if k not in killed}
+            _propagate_block(instr.body, inner)
+            for name in killed:
+                env.pop(name, None)
+        elif isinstance(instr, If):
+            killed = assigned_vars(instr.then) | assigned_vars(instr.orelse)
+            then_env = {k: v for k, v in env.items() if k not in killed}
+            else_env = dict(then_env)
+            _propagate_block(instr.then, then_env)
+            _propagate_block(instr.orelse, else_env)
+            for name in killed:
+                env.pop(name, None)
+        elif isinstance(instr, (Free, Memset, Memcpy, Strcpy, Store, Return)):
+            pass
+
+
+class ConstantPropagation(Pass):
+    """Propagate constants and fold expressions program-wide."""
+
+    name = "constprop"
+
+    def run(self, program: Program, stats: PassStats) -> None:
+        for function in program.functions.values():
+            _propagate_block(function.body, {})

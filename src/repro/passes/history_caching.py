@@ -1,0 +1,154 @@
+"""History-caching instrumentation (§4.3, Figure 9).
+
+Checks remaining inside loops after merging/promotion — typically
+data-dependent indices like ``y[j]`` with ``j`` loaded from memory, or
+accesses in unbounded loops — are rewritten to quasi-bound cached checks.
+A ``CacheFinalize`` is placed after the loop: it re-checks
+``CI(base, base+ub)`` to catch a deallocation that happened mid-loop
+(Figure 9 line 14) and resets the cache for the next dynamic loop entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.nodes import (
+    BinOp,
+    CacheFinalize,
+    CheckAccess,
+    CheckCached,
+    CheckRegion,
+    Const,
+    If,
+    Instr,
+    Load,
+    Loop,
+    Memcpy,
+    Memset,
+    Protection,
+    Store,
+    Strcpy,
+)
+from ..ir.program import Program, walk
+from .base import Pass, PassStats
+from .constprop import assigned_vars, fold
+
+
+def _region_width(start, end):
+    """Byte width of ``[start, end)`` when statically constant.
+
+    Placement emits ``end = start + width``, so the syntactic shape is
+    recognized directly; a constant folded difference also qualifies.
+    """
+    if (
+        isinstance(end, BinOp)
+        and end.op == "+"
+        and end.left == start
+        and isinstance(end.right, Const)
+    ):
+        return end.right.value
+    difference = fold(BinOp("-", end, start))
+    if isinstance(difference, Const):
+        return difference.value
+    return None
+
+
+class HistoryCaching(Pass):
+    """Rewrite in-loop checks to quasi-bound cached checks."""
+
+    name = "history-caching"
+
+    def __init__(self) -> None:
+        self._next_cache_id = 0
+
+    def run(self, program: Program, stats: PassStats) -> None:
+        sites = {}
+        for function in program.functions.values():
+            for instr in walk(function.body):
+                if isinstance(instr, (Load, Store, Memset, Memcpy, Strcpy)):
+                    if instr.site_id >= 0:
+                        sites[instr.site_id] = instr
+        for function in program.functions.values():
+            function.body = self._process(function.body, None, stats, sites)
+
+    # ------------------------------------------------------------------
+    def _process(
+        self,
+        block: List[Instr],
+        loop_ctx,
+        stats: PassStats,
+        sites: Dict[int, Instr],
+    ) -> List[Instr]:
+        """``loop_ctx`` is (killed_vars, cache_map) of the innermost
+        enclosing loop, or None outside loops."""
+        result: List[Instr] = []
+        for instr in block:
+            if isinstance(instr, Loop):
+                killed = assigned_vars(instr.body) | {instr.var}
+                caches: Dict[str, int] = {}
+                instr.body = self._process(
+                    instr.body, (killed, caches), stats, sites
+                )
+                result.append(instr)
+                for base, cache_id in caches.items():
+                    result.append(CacheFinalize(cache_id=cache_id, base=base))
+                continue
+            if isinstance(instr, If):
+                instr.then = self._process(instr.then, loop_ctx, stats, sites)
+                instr.orelse = self._process(
+                    instr.orelse, loop_ctx, stats, sites
+                )
+                result.append(instr)
+                continue
+            converted = self._convert(instr, loop_ctx, stats, sites)
+            result.append(converted if converted is not None else instr)
+        return result
+
+    def _convert(self, instr, loop_ctx, stats, sites):
+        if loop_ctx is None:
+            return None
+        killed, caches = loop_ctx
+        if isinstance(instr, CheckRegion):
+            if instr.base in killed or not instr.use_anchor:
+                return None
+            width = _region_width(instr.start, instr.end)
+            if width is None or width <= 0:
+                return None
+            cache_id = caches.get(instr.base)
+            if cache_id is None:
+                cache_id = self._next_cache_id
+                self._next_cache_id += 1
+                caches[instr.base] = cache_id
+            stats.cached_sites += 1
+            site = sites.get(instr.site_id)
+            if site is not None and site.protection is Protection.DIRECT:
+                site.protection = Protection.CACHED
+            return CheckCached(
+                cache_id=cache_id,
+                base=instr.base,
+                offset=instr.start,
+                width=width,
+                access=instr.access,
+                site_id=instr.site_id,
+            )
+        if isinstance(instr, CheckAccess):
+            if instr.base in killed:
+                return None
+            cache_id = caches.get(instr.base)
+            if cache_id is None:
+                cache_id = self._next_cache_id
+                self._next_cache_id += 1
+                caches[instr.base] = cache_id
+            stats.cached_sites += 1
+            site = sites.get(instr.site_id)
+            if site is not None and site.protection is Protection.DIRECT:
+                site.protection = Protection.CACHED
+            return CheckCached(
+                cache_id=cache_id,
+                base=instr.base,
+                offset=instr.offset,
+                width=instr.width,
+                access=instr.access,
+                site_id=instr.site_id,
+            )
+        return None

@@ -1,0 +1,109 @@
+"""The instrumenter: per-tool pass pipelines (paper Figure 4, left half).
+
+Given a source program and a tool's :class:`Capabilities`, this builds
+the instrumented program the interpreter executes.  The pipelines mirror
+the paper's configurations:
+
+=================  ===========  ===========  =========  ========
+tool               placement    elimination  promotion  caching
+=================  ===========  ===========  =========  ========
+Native             none         —            —          —
+ASan               instruction  —            —          —
+ASan--             instruction  dedupe       hoist      —
+LFP                region       —            —          —
+GiantSan           region       dedupe+merge region     yes
+GiantSan-CacheOnly region       —            —          yes
+GiantSan-ElimOnly  region       dedupe+merge region     —
+=================  ===========  ===========  =========  ========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..ir.nodes import CheckAccess, CheckCached, CheckRegion
+from ..ir.program import Program, assign_site_ids, walk
+from ..sanitizers.base import Capabilities, Sanitizer
+from .base import Pass, PassManager, PassStats
+from .check_merging import AliasedCheckElimination, ConstantOffsetMerging
+from .check_placement import CheckPlacement
+from .constprop import ConstantPropagation
+from .history_caching import HistoryCaching
+from .loop_promotion import LoopCheckPromotion
+from .safe_access import SafeAccessElimination
+
+
+@dataclass
+class InstrumentedProgram:
+    """An instrumented program plus instrumentation-time statistics."""
+
+    program: Program
+    stats: PassStats
+    style: str
+    cache_count: int = 0
+
+    @property
+    def static_checks(self) -> int:
+        return self.stats.remaining_checks
+
+
+def placement_style(caps: Capabilities) -> str:
+    """The baseline check shape a tool's runtime expects."""
+    if caps.constant_time_region or caps.anchor_checks:
+        return "region"
+    return "instruction"
+
+
+def build_pipeline(caps: Capabilities, protect: bool = True) -> List[Pass]:
+    """The pass list for a tool with the given capabilities."""
+    passes: List[Pass] = [ConstantPropagation()]
+    if not protect:
+        passes.append(CheckPlacement("none"))
+        return passes
+    style = placement_style(caps)
+    passes.append(CheckPlacement(style))
+    if caps.check_elimination:
+        passes.append(AliasedCheckElimination())
+        if caps.constant_time_region:
+            passes.append(ConstantOffsetMerging())
+            passes.append(LoopCheckPromotion("region"))
+        else:
+            # ASan--: provably-safe removal + invariant hoisting
+            passes.append(SafeAccessElimination())
+            passes.append(LoopCheckPromotion("hoist"))
+    if caps.history_caching:
+        passes.append(HistoryCaching())
+    return passes
+
+
+def instrument(
+    source: Program,
+    tool: Optional[Sanitizer] = None,
+    caps: Optional[Capabilities] = None,
+) -> InstrumentedProgram:
+    """Clone and instrument ``source`` for ``tool`` (or raw ``caps``)."""
+    if caps is None:
+        if tool is None:
+            raise ValueError("instrument() needs a sanitizer or capabilities")
+        caps = tool.capabilities
+    protect = tool is None or type(tool).__name__ != "NativeSanitizer"
+    program = source.clone()
+    assign_site_ids(program)
+    pipeline = build_pipeline(caps, protect=protect)
+    stats = PassManager(pipeline).run(program)
+    remaining = 0
+    cache_ids = set()
+    for function in program.functions.values():
+        for instr in walk(function.body):
+            if isinstance(instr, (CheckAccess, CheckRegion, CheckCached)):
+                remaining += 1
+            if isinstance(instr, CheckCached):
+                cache_ids.add(instr.cache_id)
+    stats.remaining_checks = remaining
+    return InstrumentedProgram(
+        program=program,
+        stats=stats,
+        style=placement_style(caps) if protect else "none",
+        cache_count=len(cache_ids),
+    )

@@ -1,0 +1,154 @@
+"""SCEV-style affine analysis of loop index expressions.
+
+LLVM's scalar evolution lets the paper turn N per-iteration checks into
+one region check (§4.4.2, "Check-in-Loop Promotion").  Here we recognize
+offsets of the form ``a * var + b`` with loop-invariant ``a``/``b`` and
+compute symbolic min/max offsets over the loop's trip range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from ..ir.nodes import BinOp, Const, Expr, Loop, Var, as_expr
+from .constprop import assigned_vars, fold
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``coefficient * var + offset`` with a constant coefficient and a
+    loop-invariant (but possibly symbolic) offset expression."""
+
+    coefficient: int
+    offset: Expr
+
+
+def _is_invariant(expr: Expr, killed: Set[str]) -> bool:
+    """True when ``expr`` references no variable assigned in the loop."""
+    if isinstance(expr, Const):
+        return True
+    if isinstance(expr, Var):
+        return expr.name not in killed
+    if isinstance(expr, BinOp):
+        return _is_invariant(expr.left, killed) and _is_invariant(
+            expr.right, killed
+        )
+    return False
+
+
+def affine_of(expr: Expr, var: str, killed: Set[str]) -> Optional[Affine]:
+    """Decompose ``expr`` as ``a * var + b`` or return None.
+
+    ``killed`` is the set of variables assigned inside the loop; any
+    appearance of one of them (other than ``var`` itself) defeats the
+    analysis, exactly as SCEV bails on non-affine recurrences.
+    """
+    if isinstance(expr, Var):
+        if expr.name == var:
+            return Affine(1, Const(0))
+        if expr.name not in killed:
+            return Affine(0, expr)
+        return None
+    if isinstance(expr, Const):
+        return Affine(0, expr)
+    if isinstance(expr, BinOp):
+        left = affine_of(expr.left, var, killed)
+        right = affine_of(expr.right, var, killed)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return Affine(
+                left.coefficient + right.coefficient,
+                fold(BinOp("+", left.offset, right.offset)),
+            )
+        if expr.op == "-":
+            return Affine(
+                left.coefficient - right.coefficient,
+                fold(BinOp("-", left.offset, right.offset)),
+            )
+        if expr.op == "*":
+            # one side must be a pure constant for affinity
+            if left.coefficient == 0 and isinstance(left.offset, Const):
+                scale = left.offset.value
+                return Affine(
+                    right.coefficient * scale,
+                    fold(BinOp("*", Const(scale), right.offset)),
+                )
+            if right.coefficient == 0 and isinstance(right.offset, Const):
+                scale = right.offset.value
+                return Affine(
+                    left.coefficient * scale,
+                    fold(BinOp("*", left.offset, Const(scale))),
+                )
+            return None
+        if expr.op == "<<":
+            if right.coefficient == 0 and isinstance(right.offset, Const):
+                scale = 1 << right.offset.value
+                return Affine(
+                    left.coefficient * scale,
+                    fold(BinOp("*", left.offset, Const(scale))),
+                )
+            return None
+    return None
+
+
+@dataclass
+class TripRange:
+    """Symbolic [first, last] values of the induction variable."""
+
+    first: Expr
+    last: Expr
+
+
+def trip_range(loop: Loop, killed: Set[str]) -> Optional[TripRange]:
+    """The induction variable's value range, when statically computable.
+
+    Requires: the loop is marked ``bounded``, start/end are invariant,
+    and the step is 1 (non-unit steps would need divisibility reasoning
+    to stay exact; the paper's SCEV handles them, we conservatively
+    decline and fall back to caching).
+    """
+    if not loop.bounded or loop.step != 1:
+        return None
+    body_killed = killed - {loop.var}
+    if not _is_invariant(loop.start, body_killed) or not _is_invariant(
+        loop.end, body_killed
+    ):
+        return None
+    last = fold(BinOp("-", loop.end, Const(1)))
+    return TripRange(first=fold(loop.start), last=last)
+
+
+def offset_bounds(
+    affine: Affine, trips: TripRange, width: int
+) -> Optional[tuple]:
+    """Symbolic ``(min_offset, end_offset)`` of the accessed byte range
+    over the whole loop, i.e. the region one promoted check must cover."""
+    a = affine.coefficient
+    if a == 0:
+        low = affine.offset
+        high = fold(BinOp("+", affine.offset, Const(width)))
+        return low, high
+    at_first = fold(
+        BinOp("+", BinOp("*", Const(a), trips.first), affine.offset)
+    )
+    at_last = fold(BinOp("+", BinOp("*", Const(a), trips.last), affine.offset))
+    if a > 0:
+        return at_first, fold(BinOp("+", at_last, Const(width)))
+    return at_last, fold(BinOp("+", at_first, Const(width)))
+
+
+def loop_killed_vars(loop: Loop) -> Set[str]:
+    """Variables whose value may change across iterations."""
+    return assigned_vars(loop.body) | {loop.var}
+
+
+__all__ = [
+    "Affine",
+    "TripRange",
+    "affine_of",
+    "trip_range",
+    "offset_bounds",
+    "loop_killed_vars",
+]

@@ -1,0 +1,110 @@
+"""Human-readable error reports in the style of AddressSanitizer's output.
+
+`format_report` renders one violation with the allocation it relates to
+and a shadow-memory dump around the fault, the way compiler-rt prints
+``SUMMARY: AddressSanitizer: heap-buffer-overflow ...`` followed by the
+shadow bytes legend.  Works for every tool that keeps a shadow (ASan,
+ASan--, GiantSan); LFP reports render without the dump.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .errors import ErrorReport
+from .memory.layout import SEGMENT_SIZE, segment_index
+from .sanitizers.base import Sanitizer
+from .sanitizers.giantsan import GiantSan
+from .shadow import giantsan_encoding
+
+#: Shadow bytes printed on each side of the faulting segment.
+DUMP_RADIUS = 8
+
+
+def _describe_shadow_byte(sanitizer: Sanitizer, code: int) -> str:
+    if isinstance(sanitizer, GiantSan):
+        labels = giantsan_encoding.describe_codes([code])
+        return labels[0]
+    if code == 0:
+        return "good"
+    if 1 <= code <= 7:
+        return f"{code}-part"
+    return f"err:{code:#04x}"
+
+
+def _shadow_dump(sanitizer: Sanitizer, address: int) -> List[str]:
+    index = segment_index(max(address, 0))
+    first = max(index - DUMP_RADIUS, 0)
+    last = min(index + DUMP_RADIUS, len(sanitizer.shadow) - 1)
+    lines = []
+    for i in range(first, last + 1):
+        marker = "=>" if i == index else "  "
+        code = sanitizer.shadow.load(i)
+        label = _describe_shadow_byte(sanitizer, code)
+        lines.append(
+            f"  {marker} shadow[{i:#08x}] = {code:#04x}  ({label})"
+            f"   covers [{i * SEGMENT_SIZE:#x}, {(i + 1) * SEGMENT_SIZE:#x})"
+        )
+    return lines
+
+
+def _allocation_context(sanitizer: Sanitizer, address: int) -> Optional[str]:
+    allocation = sanitizer.allocator.find_containing(address)
+    if allocation is None:
+        # try the closest chunk by scanning live + quarantined records
+        candidates = list(sanitizer.allocator.live_allocations)
+        candidates.extend(sanitizer.quarantine._queue)
+        best = None
+        for candidate in candidates:
+            if candidate.chunk_base <= address < candidate.chunk_end:
+                best = candidate
+                break
+        allocation = best
+    if allocation is None:
+        return None
+    relation = "inside"
+    if address < allocation.base:
+        relation = f"{allocation.base - address} byte(s) BEFORE"
+    elif address >= allocation.end:
+        relation = f"{address - allocation.end + 1} byte(s) AFTER"
+    return (
+        f"address {address:#x} is {relation} a {allocation.requested_size}-"
+        f"byte region [{allocation.base:#x}, {allocation.end:#x})"
+        f" (allocation #{allocation.allocation_id},"
+        f" state: {allocation.state.value})"
+    )
+
+
+def format_report(sanitizer: Sanitizer, report: ErrorReport) -> str:
+    """One violation rendered ASan-style, with allocation context and a
+    shadow dump when the tool keeps shadow memory."""
+    lines = [
+        "=" * 64,
+        f"ERROR: {sanitizer.name}: {report.kind.value} on address "
+        f"{report.address:#x}",
+        f"  {report.access.value.upper()} of size {report.size}"
+        + (f" ({report.detail})" if report.detail else ""),
+    ]
+    context = _allocation_context(sanitizer, report.address)
+    if context is not None:
+        lines.append(f"  {context}")
+    if report.shadow_value is not None:
+        lines.append(
+            f"  shadow byte at fault: {report.shadow_value:#04x} "
+            f"({_describe_shadow_byte(sanitizer, report.shadow_value)})"
+        )
+    if type(sanitizer).__name__ not in ("LFP", "NativeSanitizer"):
+        lines.append("Shadow bytes around the buggy address:")
+        lines.extend(_shadow_dump(sanitizer, report.address))
+    lines.append(f"SUMMARY: {sanitizer.name}: {report.kind.value}")
+    lines.append("=" * 64)
+    return "\n".join(lines)
+
+
+def format_all_reports(sanitizer: Sanitizer) -> str:
+    """Every report in the sanitizer's log, rendered and concatenated."""
+    if not sanitizer.log:
+        return f"{sanitizer.name}: no errors detected"
+    return "\n\n".join(
+        format_report(sanitizer, report) for report in sanitizer.log
+    )

@@ -1,0 +1,25 @@
+"""Execution runtime: interpreter, intrinsics, cost model, sessions."""
+
+from .cost_model import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    NativeCosts,
+    SanitizerCosts,
+    geometric_mean,
+)
+from .interpreter import BudgetExceeded, Interpreter, RunResult, run_program
+from .session import Session, run_with_tools
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "NativeCosts",
+    "SanitizerCosts",
+    "geometric_mean",
+    "BudgetExceeded",
+    "Interpreter",
+    "RunResult",
+    "run_program",
+    "Session",
+    "run_with_tools",
+]

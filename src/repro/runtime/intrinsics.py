@@ -1,0 +1,76 @@
+"""Guardian-wrapped memory intrinsics (memset / memcpy / strcpy).
+
+ASan intercepts libc routines with guardian functions that validate the
+whole touched region before running the real routine (paper §4.5,
+"Runtime Checking").  For ASan the guardian costs one shadow load per
+segment; GiantSan replaces it with the constant-time CI.  The interpreter
+calls these helpers; they check (honouring the instruction's protection
+tag) and then move the bytes.
+"""
+
+from __future__ import annotations
+
+from ..errors import AccessType
+from ..ir.nodes import Protection
+from ..sanitizers.base import Sanitizer
+
+#: Longest C-string strcpy will scan for a terminator before declaring
+#: the source unterminated (keeps simulated runs bounded).
+STRCPY_SCAN_LIMIT = 1 << 20
+
+
+def guarded_memset(
+    san: Sanitizer,
+    protection: Protection,
+    address: int,
+    length: int,
+    byte: int,
+    anchor: int,
+) -> None:
+    """memset with an operation-level write guard."""
+    if length <= 0:
+        return
+    if protection is Protection.DIRECT:
+        san.check_region(address, address + length, AccessType.WRITE, anchor=anchor)
+    san.space.fill(san.resolve_address(address), length, byte)
+
+
+def guarded_memcpy(
+    san: Sanitizer,
+    protection: Protection,
+    dst: int,
+    src: int,
+    length: int,
+    dst_anchor: int,
+    src_anchor: int,
+) -> None:
+    """memcpy with read+write operation-level guards."""
+    if length <= 0:
+        return
+    if protection is Protection.DIRECT:
+        san.check_region(src, src + length, AccessType.READ, anchor=src_anchor)
+        san.check_region(dst, dst + length, AccessType.WRITE, anchor=dst_anchor)
+    san.space.copy(san.resolve_address(dst), san.resolve_address(src), length)
+
+
+def guarded_strcpy(
+    san: Sanitizer,
+    protection: Protection,
+    dst: int,
+    src: int,
+    dst_anchor: int,
+    src_anchor: int,
+) -> int:
+    """strcpy: find the terminator, guard both regions, copy; returns the
+    number of bytes copied (terminator included)."""
+    raw_src = san.resolve_address(src)
+    limit = min(STRCPY_SCAN_LIMIT, san.layout.total_size - raw_src)
+    scan = san.space.find_byte(raw_src, 0, limit)
+    if scan < 0:
+        scan = limit - 1
+    length = scan + 1
+    if protection is Protection.DIRECT:
+        san.check_region(src, src + length, AccessType.READ, anchor=src_anchor)
+        san.check_region(dst, dst + length, AccessType.WRITE, anchor=dst_anchor)
+    san.space.copy(san.resolve_address(dst), raw_src, length)
+    return length

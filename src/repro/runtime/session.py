@@ -1,0 +1,79 @@
+"""Session: the one-call API tying instrumentation and execution together.
+
+A session owns a fresh sanitizer, instruments a program for it, runs the
+program, and returns the :class:`RunResult`.  The benchmark harness and
+the examples both drive everything through this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.program import Program
+from ..passes.instrument import InstrumentedProgram, instrument
+from ..sanitizers import SANITIZER_FACTORIES
+from ..sanitizers.base import Sanitizer
+from .cost_model import CostModel, DEFAULT_COST_MODEL
+from .interpreter import Interpreter, RunResult
+
+
+class Session:
+    """One tool + one program, ready to execute."""
+
+    def __init__(
+        self,
+        tool: str | Sanitizer,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        max_instructions: int = 50_000_000,
+        **sanitizer_kwargs,
+    ):
+        if isinstance(tool, Sanitizer):
+            if sanitizer_kwargs:
+                raise ValueError(
+                    "pass sanitizer kwargs only with a tool *name*"
+                )
+            self.sanitizer = tool
+        else:
+            try:
+                factory = SANITIZER_FACTORIES[tool]
+            except KeyError:
+                known = ", ".join(sorted(SANITIZER_FACTORIES))
+                raise ValueError(
+                    f"unknown tool {tool!r}; known tools: {known}"
+                ) from None
+            self.sanitizer = factory(**sanitizer_kwargs)
+        self.cost_model = cost_model
+        self.max_instructions = max_instructions
+
+    def instrument(self, program: Program) -> InstrumentedProgram:
+        return instrument(program, tool=self.sanitizer)
+
+    def run(
+        self, program: Program, args: Optional[List[int]] = None
+    ) -> RunResult:
+        """Instrument and execute ``program`` under this session's tool."""
+        iprogram = self.instrument(program)
+        interpreter = Interpreter(
+            self.sanitizer, max_instructions=self.max_instructions
+        )
+        return interpreter.run(iprogram, args)
+
+
+def run_with_tools(
+    program: Program,
+    tools: List[str],
+    args: Optional[List[int]] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    sanitizer_kwargs: Optional[Dict[str, dict]] = None,
+) -> Dict[str, RunResult]:
+    """Run one program under several tools with fresh state each.
+
+    ``sanitizer_kwargs`` optionally maps tool name -> constructor kwargs
+    (e.g. ``{"ASan": {"redzone": 512}}``).
+    """
+    results: Dict[str, RunResult] = {}
+    for tool in tools:
+        kwargs = (sanitizer_kwargs or {}).get(tool, {})
+        session = Session(tool, cost_model=cost_model, **kwargs)
+        results[tool] = session.run(program, args)
+    return results

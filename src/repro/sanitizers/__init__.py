@@ -1,0 +1,43 @@
+"""The sanitizer runtimes under evaluation."""
+
+from .base import AccessCache, Capabilities, CheckStats, Sanitizer
+from .native import NativeSanitizer
+from .asan import ASan
+from .asanmm import ASanMinusMinus
+from .giantsan import (
+    GiantSan,
+    make_cache_only,
+    make_elimination_only,
+    make_giantsan,
+)
+from .hwasan import HWASan
+from .lfp import LFP
+
+#: Factory registry used by the benchmark harness; names match the paper.
+SANITIZER_FACTORIES = {
+    "Native": NativeSanitizer,
+    "GiantSan": make_giantsan,
+    "ASan": ASan,
+    "ASan--": ASanMinusMinus,
+    "LFP": LFP,
+    "HWASan": HWASan,
+    "GiantSan-CacheOnly": make_cache_only,
+    "GiantSan-EliminationOnly": make_elimination_only,
+}
+
+__all__ = [
+    "AccessCache",
+    "Capabilities",
+    "CheckStats",
+    "Sanitizer",
+    "NativeSanitizer",
+    "ASan",
+    "ASanMinusMinus",
+    "GiantSan",
+    "LFP",
+    "HWASan",
+    "make_giantsan",
+    "make_cache_only",
+    "make_elimination_only",
+    "SANITIZER_FACTORIES",
+]

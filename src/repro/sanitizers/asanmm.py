@@ -1,0 +1,32 @@
+"""ASan-- (Zhang et al., USENIX Security 2022): debloated ASan.
+
+ASan-- keeps ASan's runtime checks byte-for-byte but removes checks the
+compiler can prove redundant — must-aliased duplicates, checks dominated
+by an identical check, and loop-invariant checks it can hoist.  In this
+reproduction the runtime is therefore shared with :class:`ASan`; the
+difference lives in the instrumentation pipeline, which consults
+``capabilities.check_elimination`` (see
+:mod:`repro.passes.check_merging`).
+
+ASan-- does *not* get constant-time region checks or history caching —
+that distinction is the paper's ablation argument (Table 2: ASan-- lands
+close to GiantSan-EliminationOnly, and both trail full GiantSan).
+"""
+
+from __future__ import annotations
+
+from .asan import ASan
+from .base import Capabilities
+
+
+class ASanMinusMinus(ASan):
+    """ASan runtime + static check elimination at instrumentation time."""
+
+    name = "ASan--"
+    capabilities = Capabilities(
+        constant_time_region=False,
+        history_caching=False,
+        anchor_checks=False,
+        check_elimination=True,
+        temporal=True,
+    )

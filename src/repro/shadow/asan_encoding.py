@@ -1,0 +1,147 @@
+"""ASan's shadow encoding (Serebryany et al., USENIX ATC 2012).
+
+A shadow byte of 0 marks a fully addressable ("good") segment; 1..7 mark
+k-partial segments (only the first k bytes addressable); values >= 0x80
+(negative as int8) are poison codes naming *why* the segment is
+non-addressable.  The codes below follow compiler-rt's
+``asan_internal_defs``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ErrorKind
+from ..memory.allocator import Allocation
+from ..memory.layout import SEGMENT_SIZE, segment_index
+from .shadow_memory import ShadowMemory
+
+#: Fully addressable segment.
+GOOD = 0x00
+
+#: Poison codes (compiler-rt values).
+HEAP_LEFT_REDZONE = 0xFA
+HEAP_RIGHT_REDZONE = 0xFB
+HEAP_FREED = 0xFD
+STACK_LEFT_REDZONE = 0xF1
+STACK_MID_REDZONE = 0xF2
+STACK_RIGHT_REDZONE = 0xF3
+STACK_AFTER_RETURN = 0xF5
+GLOBAL_REDZONE = 0xF9
+NULL_PAGE = 0xFE
+
+#: Map from poison code to the error kind a report should carry.
+ERROR_KIND_BY_CODE = {
+    HEAP_LEFT_REDZONE: ErrorKind.HEAP_BUFFER_UNDERFLOW,
+    HEAP_RIGHT_REDZONE: ErrorKind.HEAP_BUFFER_OVERFLOW,
+    HEAP_FREED: ErrorKind.USE_AFTER_FREE,
+    STACK_LEFT_REDZONE: ErrorKind.STACK_BUFFER_UNDERFLOW,
+    STACK_MID_REDZONE: ErrorKind.STACK_BUFFER_OVERFLOW,
+    STACK_RIGHT_REDZONE: ErrorKind.STACK_BUFFER_OVERFLOW,
+    STACK_AFTER_RETURN: ErrorKind.USE_AFTER_RETURN,
+    GLOBAL_REDZONE: ErrorKind.GLOBAL_BUFFER_OVERFLOW,
+    NULL_PAGE: ErrorKind.NULL_DEREFERENCE,
+}
+
+
+def is_poison(code: int) -> bool:
+    """True for the non-addressable poison codes (int8-negative range)."""
+    return code >= 0x80
+
+
+def is_partial(code: int) -> bool:
+    """True for k-partial codes (1..7)."""
+    return 1 <= code <= 7
+
+
+def classify(code: int) -> ErrorKind:
+    """Error kind implied by hitting ``code``; partial segments report as
+    overflow of the object they terminate."""
+    if is_poison(code):
+        return ERROR_KIND_BY_CODE.get(code, ErrorKind.UNKNOWN)
+    if is_partial(code):
+        return ErrorKind.HEAP_BUFFER_OVERFLOW
+    return ErrorKind.UNKNOWN
+
+
+def addressable_prefix(code: int) -> int:
+    """Number of addressable bytes at the start of a segment with ``code``."""
+    if code == GOOD:
+        return SEGMENT_SIZE
+    if is_partial(code):
+        return code
+    return 0
+
+
+def poison_allocation(shadow: ShadowMemory, allocation: Allocation) -> None:
+    """Set shadow for a fresh heap allocation: good object + redzones.
+
+    The object's interior segments become GOOD; a trailing partial
+    segment gets its k code; left/right redzones get poison.  Chunks are
+    segment-aligned so no two objects share a segment (paper footnote 2).
+    """
+    _write_object_states(shadow, allocation.base, allocation.requested_size)
+    slack = allocation.usable_size - allocation.requested_size
+    if slack:
+        # Rounded-up policies (BBC/LFP) leave the slack *addressable*:
+        # that is precisely their false-negative source.
+        _write_object_states(shadow, allocation.base, allocation.usable_size)
+    left_segments = allocation.left_redzone >> 3
+    if left_segments:
+        shadow.fill(
+            segment_index(allocation.chunk_base), left_segments, HEAP_LEFT_REDZONE
+        )
+    first_rz = segment_index(allocation.base + allocation.usable_size + 7)
+    end_seg = segment_index(allocation.chunk_end)
+    if end_seg > first_rz:
+        shadow.fill(first_rz, end_seg - first_rz, HEAP_RIGHT_REDZONE)
+
+
+def _write_object_states(shadow: ShadowMemory, base: int, size: int) -> None:
+    index = segment_index(base)
+    full, tail = divmod(size, SEGMENT_SIZE)
+    if full:
+        shadow.fill(index, full, GOOD)
+    if tail:
+        shadow.store(index + full, tail)
+
+
+def poison_freed(shadow: ShadowMemory, allocation: Allocation) -> None:
+    """Mark a freed object's whole usable region as HEAP_FREED."""
+    index = segment_index(allocation.base)
+    count = (allocation.usable_size + SEGMENT_SIZE - 1) >> 3
+    shadow.fill(index, count, HEAP_FREED)
+
+
+def unpoison_chunk(shadow: ShadowMemory, allocation: Allocation) -> None:
+    """Clear the whole chunk back to GOOD (on quarantine eviction the
+    address range becomes reusable raw memory)."""
+    index = segment_index(allocation.chunk_base)
+    count = allocation.chunk_size >> 3
+    shadow.fill(index, count, GOOD)
+
+
+def check_small_access(
+    shadow: ShadowMemory, address: int, width: int
+) -> Optional[int]:
+    """ASan's check for one <=8-byte access (paper Example 1).
+
+    Returns the offending shadow code, or None when the access is safe.
+    Exactly one shadow load when the access does not straddle a segment
+    boundary; two otherwise.
+    """
+    code = shadow.load(ShadowMemory.index_of(address))
+    offset = address & (SEGMENT_SIZE - 1)
+    if offset + width <= SEGMENT_SIZE:
+        if code != GOOD and offset + width > addressable_prefix(code):
+            return code
+        return None
+    # Straddles two segments: the first must be fully good, the tail
+    # checks against the second segment's prefix.
+    if code != GOOD:
+        return code
+    tail = offset + width - SEGMENT_SIZE
+    code2 = shadow.load(ShadowMemory.index_of(address) + 1)
+    if code2 != GOOD and tail > addressable_prefix(code2):
+        return code2
+    return None

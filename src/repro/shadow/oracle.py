@@ -1,0 +1,79 @@
+"""Byte-exact addressability oracle.
+
+The oracle walks shadow codes one segment at a time and decides whether a
+region is fully addressable.  It is deliberately slow and obviously
+correct: property tests compare every sanitizer's O(1)/O(n) check result
+against it, and detection experiments use it as ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from ..memory.layout import SEGMENT_SIZE, segment_index, segment_offset
+from . import asan_encoding, giantsan_encoding
+from .shadow_memory import ShadowMemory
+
+#: An oracle prefix function: addressable bytes at the start of one
+#: segment given its shadow code.
+PrefixFn = Callable[[int], int]
+
+
+def region_is_addressable(
+    shadow: ShadowMemory,
+    start: int,
+    end: int,
+    prefix_of: PrefixFn,
+) -> Tuple[bool, Optional[int]]:
+    """Whether every byte in ``[start, end)`` is addressable.
+
+    Returns ``(ok, faulting_address)``; ``faulting_address`` is the first
+    non-addressable byte when ``ok`` is False.
+
+    ``prefix_of`` interprets one shadow code as the length of the
+    addressable prefix of its segment (encoding-specific).
+    """
+    if end <= start:
+        return True, None
+    address = start
+    while address < end:
+        index = segment_index(address)
+        code = shadow.load(index)
+        prefix = prefix_of(code)
+        offset = segment_offset(address)
+        if offset >= prefix:
+            return False, address
+        segment_end = (index + 1) * SEGMENT_SIZE
+        addressable_until = index * SEGMENT_SIZE + prefix
+        if addressable_until < min(end, segment_end):
+            return False, addressable_until
+        address = segment_end
+    return True, None
+
+
+def asan_region_is_addressable(
+    shadow: ShadowMemory, start: int, end: int
+) -> Tuple[bool, Optional[int]]:
+    """Oracle specialized to the ASan encoding."""
+    return region_is_addressable(
+        shadow, start, end, asan_encoding.addressable_prefix
+    )
+
+
+def giantsan_region_is_addressable(
+    shadow: ShadowMemory, start: int, end: int
+) -> Tuple[bool, Optional[int]]:
+    """Oracle specialized to the GiantSan encoding."""
+    return region_is_addressable(
+        shadow, start, end, giantsan_encoding.addressable_prefix
+    )
+
+
+def first_poison_code(
+    shadow: ShadowMemory, start: int, end: int, prefix_of: PrefixFn
+) -> Optional[int]:
+    """Shadow code of the segment containing the first violation, or None."""
+    ok, fault = region_is_addressable(shadow, start, end, prefix_of)
+    if ok:
+        return None
+    return shadow.load(segment_index(fault))

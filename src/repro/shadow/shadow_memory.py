@@ -1,0 +1,63 @@
+"""Raw shadow memory: one shadow byte per 8-byte segment.
+
+Both ASan and GiantSan map the application address ``a`` to the shadow
+index ``a >> 3`` (paper §2.2).  This module stores the shadow array and
+moves bytes; *what the bytes mean* is defined by the encoding modules
+(:mod:`repro.shadow.asan_encoding`, :mod:`repro.shadow.giantsan_encoding`).
+"""
+
+from __future__ import annotations
+
+from ..memory.layout import SEGMENT_SHIFT, SEGMENT_SIZE
+
+
+class ShadowMemory:
+    """The shadow array for a simulated address space.
+
+    Indices are *segment* indices, not byte addresses; use
+    :meth:`index_of` to map an address.  All values are unsigned bytes
+    (0..255); ASan's signed interpretation is applied by its encoding.
+    """
+
+    def __init__(self, memory_size: int):
+        if memory_size % SEGMENT_SIZE:
+            raise ValueError("memory size must be a multiple of the segment size")
+        self._shadow = bytearray(memory_size >> SEGMENT_SHIFT)
+
+    def __len__(self) -> int:
+        return len(self._shadow)
+
+    @staticmethod
+    def index_of(address: int) -> int:
+        """Shadow index of the segment covering ``address``."""
+        return address >> SEGMENT_SHIFT
+
+    def load(self, index: int) -> int:
+        """Read one shadow byte (the unit the cost model charges for)."""
+        return self._shadow[index]
+
+    def store(self, index: int, code: int) -> None:
+        """Write one shadow byte."""
+        self._shadow[index] = code & 0xFF
+
+    def fill(self, index: int, count: int, code: int) -> None:
+        """Set ``count`` consecutive shadow bytes to ``code``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._shadow[index : index + count] = bytes([code & 0xFF]) * count
+
+    def write_codes(self, index: int, codes: bytes) -> None:
+        """Write a pre-computed code sequence (used by segment folding)."""
+        self._shadow[index : index + len(codes)] = codes
+
+    def region(self, index: int, count: int) -> bytes:
+        """Snapshot of ``count`` shadow bytes starting at ``index``."""
+        return bytes(self._shadow[index : index + count])
+
+    def codes_for_range(self, address: int, size: int) -> bytes:
+        """Shadow bytes covering the byte range ``[address, address+size)``."""
+        if size <= 0:
+            return b""
+        first = self.index_of(address)
+        last = self.index_of(address + size - 1)
+        return self.region(first, last - first + 1)

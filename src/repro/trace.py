@@ -1,0 +1,186 @@
+"""Execution tracing: a bounded event log for debugging sanitizer runs.
+
+Attach a :class:`Tracer` to any sanitizer and every allocation, free,
+frame push/pop, and error report is recorded as a structured event.
+The trace answers the questions a report alone cannot — "what was at
+this address before?", "how many allocations separated the free from
+the use?" — the same role compiler-rt's allocation stack traces play.
+
+The log is a ring buffer, so tracing long runs is safe.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from .errors import ErrorReport
+from .sanitizers.base import Sanitizer
+
+
+class EventKind(enum.Enum):
+    MALLOC = "malloc"
+    FREE = "free"
+    FRAME_PUSH = "frame-push"
+    FRAME_POP = "frame-pop"
+    GLOBAL = "global"
+    REPORT = "report"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event, with a monotonically increasing sequence."""
+
+    sequence: int
+    kind: EventKind
+    address: int
+    size: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"#{self.sequence:06d} {self.kind.value:10s} "
+            f"addr={self.address:#x} size={self.size}"
+            + (f" ({self.detail})" if self.detail else "")
+        )
+
+
+class Tracer:
+    """Wraps a sanitizer's lifecycle hooks to record events.
+
+    Usage::
+
+        san = GiantSan()
+        tracer = Tracer.attach(san)
+        ... run ...
+        for event in tracer.events_near(report.address):
+            print(event)
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, sanitizer: Sanitizer, capacity: int = 4096) -> "Tracer":
+        """Instrument ``sanitizer`` in place; returns the tracer."""
+        tracer = cls(capacity=capacity)
+
+        original_malloc = sanitizer.malloc
+        original_free = sanitizer.free
+        original_push = sanitizer.push_frame
+        original_pop = sanitizer.pop_frame
+        original_global = sanitizer.define_global
+        original_report = sanitizer.log.report
+
+        def traced_malloc(size):
+            allocation = original_malloc(size)
+            tracer.record(
+                EventKind.MALLOC,
+                allocation.base,
+                size,
+                f"allocation #{allocation.allocation_id}",
+            )
+            return allocation
+
+        def traced_free(address):
+            tracer.record(EventKind.FREE, address, 0)
+            return original_free(address)
+
+        def traced_push(sizes, names=None):
+            frame = original_push(sizes, names)
+            tracer.record(
+                EventKind.FRAME_PUSH, frame.base, frame.size,
+                f"frame #{frame.frame_id}",
+            )
+            return frame
+
+        def traced_pop():
+            frame = original_pop()
+            tracer.record(
+                EventKind.FRAME_POP, frame.base, frame.size,
+                f"frame #{frame.frame_id}",
+            )
+            return frame
+
+        def traced_global(name, size):
+            variable = original_global(name, size)
+            tracer.record(EventKind.GLOBAL, variable.base, size, name)
+            return variable
+
+        def traced_report(report: ErrorReport):
+            tracer.record(
+                EventKind.REPORT, report.address, report.size,
+                report.kind.value,
+            )
+            return original_report(report)
+
+        sanitizer.malloc = traced_malloc
+        sanitizer.free = traced_free
+        sanitizer.push_frame = traced_push
+        sanitizer.pop_frame = traced_pop
+        sanitizer.define_global = traced_global
+        sanitizer.log.report = traced_report
+        return tracer
+
+    # ------------------------------------------------------------------
+    def record(
+        self, kind: EventKind, address: int, size: int, detail: str = ""
+    ) -> TraceEvent:
+        event = TraceEvent(
+            sequence=self._sequence,
+            kind=kind,
+            address=address,
+            size=size,
+            detail=detail,
+        )
+        self._sequence += 1
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def of_kind(self, kind: EventKind) -> List[TraceEvent]:
+        return [e for e in self._events if e.kind is kind]
+
+    def events_near(
+        self, address: int, radius: int = 256
+    ) -> List[TraceEvent]:
+        """Events whose address range touches ``address +- radius``."""
+        return [
+            e
+            for e in self._events
+            if e.address - radius <= address <= e.address + max(e.size, 0) + radius
+        ]
+
+    def history_of(self, address: int) -> List[TraceEvent]:
+        """Lifecycle events for the object containing ``address``.
+
+        Frees are recorded with size 0 (the runtime may not know the
+        size at free time), so they are matched through the base address
+        of a containing malloc/global event.
+        """
+        bases = set()
+        containing: List[TraceEvent] = []
+        for e in self._events:
+            if e.kind in (EventKind.MALLOC, EventKind.GLOBAL):
+                if e.address <= address < e.address + max(e.size, 1):
+                    bases.add(e.address)
+                    containing.append(e)
+            elif e.kind is EventKind.FREE and e.address in bases:
+                containing.append(e)
+        return containing
+
+    def render(self, events: Optional[List[TraceEvent]] = None) -> str:
+        chosen = self.events if events is None else events
+        if not chosen:
+            return "(no events)"
+        return "\n".join(str(e) for e in chosen)

@@ -1,0 +1,60 @@
+"""Workload suites for every experiment in the paper's evaluation."""
+
+from . import kernels
+from .patterns import TABLE1_PATTERNS, Table1Pattern
+from .spec import (
+    SPEC_BY_NAME,
+    SPEC_TABLE2_ROWS,
+    SpecProgram,
+    build_spec_program,
+)
+from .traversals import (
+    FIGURE11_PATTERNS,
+    FIGURE11_SIZES,
+    TraversalPattern,
+    forward_traversal,
+    random_traversal,
+    reverse_traversal,
+)
+from .juliet import (
+    JulietCase,
+    TABLE3_CWES,
+    generate_juliet_suite,
+)
+from .linux_flaw import CveScenario, TABLE4_SCENARIOS, scenarios_by_program
+from .magma import (
+    MagmaCase,
+    MagmaProject,
+    TABLE5_CONFIGS,
+    TABLE5_PROJECTS,
+    generate_magma_suite,
+    generate_project_cases,
+)
+
+__all__ = [
+    "kernels",
+    "TABLE1_PATTERNS",
+    "Table1Pattern",
+    "SPEC_BY_NAME",
+    "SPEC_TABLE2_ROWS",
+    "SpecProgram",
+    "build_spec_program",
+    "FIGURE11_PATTERNS",
+    "FIGURE11_SIZES",
+    "TraversalPattern",
+    "forward_traversal",
+    "random_traversal",
+    "reverse_traversal",
+    "JulietCase",
+    "TABLE3_CWES",
+    "generate_juliet_suite",
+    "CveScenario",
+    "TABLE4_SCENARIOS",
+    "scenarios_by_program",
+    "MagmaCase",
+    "MagmaProject",
+    "TABLE5_CONFIGS",
+    "TABLE5_PROJECTS",
+    "generate_magma_suite",
+    "generate_project_cases",
+]

@@ -1,0 +1,276 @@
+"""Reusable IR kernel emitters the SPEC proxies are composed from.
+
+Each helper emits one memory-access idiom into a FunctionBuilder.  The
+idioms are chosen to span the optimization matrix of the paper:
+
+=====================  ==========================================
+kernel                 who benefits
+=====================  ==========================================
+affine_sweep           loop promotion (GiantSan), nothing (ASan--)
+struct_walk            duplicate elimination (ASan-- and GiantSan)
+indirect_access        history caching (GiantSan only)
+pointer_chase          history caching, partially
+string_ops             guardian region checks (O(1) vs linear)
+alloc_churn            allocator hooks; no static optimization
+dispatch_loop          mixed conditional accesses, hard to optimize
+reverse_sweep          the §5.4 pathological case for GiantSan
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import FunctionBuilder
+from ..ir.nodes import ExprLike, V
+
+#: Multiplier/increment of the in-IR linear congruential generator used
+#: for "random" index streams (kept tiny: all math is interpreted).
+LCG_MUL = 1103515245
+LCG_INC = 12345
+
+
+def affine_sweep(
+    f: FunctionBuilder,
+    buf: str,
+    count: ExprLike,
+    stride: int = 4,
+    width: int = 4,
+    var: str = "i",
+    value: ExprLike = None,
+) -> None:
+    """``for i in [0, count): buf[i*stride] = v`` — promotable to one CI."""
+    with f.loop(var, 0, count) as i:
+        f.compute(2.0)
+        f.store(buf, i * stride, width, value if value is not None else i)
+
+
+def affine_read_sweep(
+    f: FunctionBuilder,
+    buf: str,
+    count: ExprLike,
+    stride: int = 4,
+    width: int = 4,
+    var: str = "i",
+    dst: str = "acc",
+) -> None:
+    """Reduction over an array; also promotable."""
+    f.assign(dst, 0)
+    with f.loop(var, 0, count) as i:
+        f.load("_t", buf, i * stride, width)
+        f.compute(2.0)
+        f.assign(dst, V(dst) + V("_t"))
+
+
+def stencil_sweep(
+    f: FunctionBuilder,
+    src: str,
+    dst: str,
+    count: ExprLike,
+    var: str = "i",
+) -> None:
+    """3-point stencil ``dst[i] = src[i-1]+src[i]+src[i+1]`` over 4-byte
+    cells, iterating [1, count-1) — the lbm/imagick access shape."""
+    with f.loop(var, 1, count - 1) as i:
+        f.load("_a", src, i * 4 - 4, 4)
+        f.load("_b", src, i * 4, 4)
+        f.load("_c", src, i * 4 + 4, 4)
+        f.compute(6.0)  # collision/streaming arithmetic per cell
+        f.store(dst, i * 4, 4, V("_a") + V("_b") + V("_c"))
+
+
+def struct_walk(
+    f: FunctionBuilder,
+    buf: str,
+    count: ExprLike,
+    record_size: int = 32,
+    var: str = "r",
+) -> None:
+    """Record-array walk touching several fields per record, with one
+    field read twice (the must-alias dedupe target)."""
+    with f.loop(var, 0, count) as r:
+        base = r * record_size
+        f.load("_k", buf, base, 4)
+        f.load("_v", buf, base + 8, 8)
+        f.compute(5.0)  # per-record logic
+        f.store(buf, base + 16, 8, V("_v") + 1)
+        f.store(buf, base, 4, V("_k") + 1)  # aliases the first load
+
+
+def indirect_access(
+    f: FunctionBuilder,
+    idx: str,
+    data: str,
+    count: ExprLike,
+    var: str = "i",
+    width: int = 4,
+) -> None:
+    """``data[idx[i]]`` in a data-dependent (unbounded) loop: the
+    history-caching showcase (Figure 8/9)."""
+    with f.loop(var, 0, count, bounded=False) as i:
+        f.load("_j", idx, i * 4, 4)
+        f.compute(3.0)
+        f.store(data, V("_j") * width, width, i)
+
+
+def fill_indices(
+    f: FunctionBuilder,
+    idx: str,
+    count: ExprLike,
+    modulus: ExprLike,
+    var: str = "k",
+    scramble: bool = True,
+) -> None:
+    """Populate an index buffer with in-bounds pseudo-random indices."""
+    f.assign("_seed", 99991)
+    with f.loop(var, 0, count) as k:
+        if scramble:
+            f.assign("_seed", (V("_seed") * LCG_MUL + LCG_INC) & 0x7FFFFFFF)
+            f.store(idx, k * 4, 4, V("_seed") % modulus)
+        else:
+            f.store(idx, k * 4, 4, k % modulus)
+
+
+def pointer_chase(
+    f: FunctionBuilder,
+    nodes: str,
+    hops: ExprLike,
+    node_count: ExprLike,
+    var: str = "h",
+) -> None:
+    """Follow ``cur = next[cur]`` for ``hops`` steps over an 8-byte next
+    array prepared by :func:`fill_chase_links` — the mcf idiom."""
+    f.assign("_cur", 0)
+    with f.loop(var, 0, hops, bounded=False):
+        f.compute(3.0)  # per-node work between hops
+        f.load("_cur", nodes, V("_cur") * 8, 8)
+
+
+def fill_chase_links(
+    f: FunctionBuilder,
+    nodes: str,
+    node_count: ExprLike,
+    var: str = "k",
+) -> None:
+    """next[k] = (k * 17 + 7) % node_count — a full-cycle permutation for
+    typical sizes, giving non-local jumps."""
+    with f.loop(var, 0, node_count) as k:
+        f.store(nodes, k * 8, 8, (k * 17 + 7) % node_count)
+
+
+def string_ops(
+    f: FunctionBuilder,
+    src: str,
+    dst: str,
+    length: ExprLike,
+    repeats: ExprLike = 1,
+    var: str = "s",
+) -> None:
+    """memset + memcpy rounds: guardian-function territory where ASan
+    pays one shadow load per 8 bytes and GiantSan pays O(1)."""
+    with f.loop(var, 0, repeats):
+        f.memset(src, 0, length, 7)
+        f.memcpy(dst, 0, src, 0, length)
+
+
+def c_string_copy(
+    f: FunctionBuilder,
+    src: str,
+    dst: str,
+    length: ExprLike,
+    repeats: ExprLike = 1,
+    var: str = "s",
+) -> None:
+    """Terminate src at length-1 then strcpy it repeatedly."""
+    f.store(src, length - 1, 1, 0)
+    with f.loop(var, 0, repeats):
+        f.strcpy(dst, 0, src, 0)
+
+
+def alloc_churn(
+    f: FunctionBuilder,
+    count: ExprLike,
+    size: int = 48,
+    var: str = "a",
+) -> None:
+    """malloc/touch/free cycles: stresses poisoning and quarantine."""
+    with f.loop(var, 0, count):
+        f.malloc("_tmp", size)
+        f.compute(8.0)  # constructor logic
+        f.store("_tmp", 0, 8, 1)
+        f.store("_tmp", size - 8, 8, 2)
+        f.free("_tmp")
+
+
+def dispatch_loop(
+    f: FunctionBuilder,
+    code: str,
+    heap: str,
+    count: ExprLike,
+    heap_cells: ExprLike,
+    var: str = "pc",
+) -> None:
+    """Bytecode-interpreter shape (perlbench/gcc): load an opcode, branch,
+    touch operands at data-dependent offsets."""
+    with f.loop(var, 0, count, bounded=False) as pc:
+        f.load("_op", code, pc * 4, 4)
+        f.compute(5.0)  # decode + dispatch logic
+        f.assign("_slot", V("_op") % heap_cells)
+        with f.if_((V("_op") & 3).eq(0)):
+            f.load("_x", heap, V("_slot") * 8, 8)
+        with f.else_():
+            f.store(heap, V("_slot") * 8, 8, V("_op"))
+
+
+def scattered_access(
+    f: FunctionBuilder,
+    ptr_table: str,
+    count: ExprLike,
+    var: str = "o",
+    field_count: int = 2,
+    tail_offset: int = None,
+) -> None:
+    """Dereference a different object each iteration through a pointer
+    table: the base pointer is re-loaded per iteration, so no tool can
+    merge, promote, or cache these checks — every access pays a direct
+    check (the FastOnly/FullCheck population of Figure 10).
+
+    ``tail_offset`` additionally touches the object's last field; on
+    objects whose segment count is not a power of two that access lies
+    beyond the head segment's folding guarantee and exercises GiantSan's
+    slow check (the FullCheck category)."""
+    with f.loop(var, 0, count, bounded=False) as o:
+        f.load("_obj", ptr_table, o * 8, 8)
+        f.compute(3.0)
+        for field in range(field_count):
+            f.store("_obj", field * 8, 8, o)
+        if tail_offset is not None:
+            f.store("_obj", tail_offset, 8, o)
+
+
+def build_pointer_table(
+    f: FunctionBuilder,
+    ptr_table: str,
+    count: ExprLike,
+    object_size: int = 32,
+    var: str = "k",
+) -> None:
+    """Allocate ``count`` small objects and record their addresses."""
+    with f.loop(var, 0, count) as k:
+        f.malloc("_o", object_size)
+        f.store(ptr_table, k * 8, 8, V("_o"))
+
+
+def reverse_sweep(
+    f: FunctionBuilder,
+    buf: str,
+    end_ptr: str,
+    count: ExprLike,
+    var: str = "i",
+    width: int = 4,
+) -> None:
+    """Walk a buffer from its highest address down through a pointer
+    anchored at the end: every access has a negative offset, hitting
+    GiantSan's no-quasi-lower-bound limitation (§5.4, Figure 11c)."""
+    f.ptr_add(end_ptr, buf, count * width)
+    with f.loop(var, 1, count + 1, bounded=False) as i:
+        f.compute(2.0)
+        f.load("_r", end_ptr, 0 - i * width, width)

@@ -1,0 +1,186 @@
+"""CVE-shaped scenarios from the Linux Flaw Project (Table 4).
+
+Each entry reconstructs the *memory-error shape* of one CVE the paper
+evaluates — the program, buffer sizes, and access pattern are reduced to
+the faulting path described in the CVE report.  Detection then depends
+only on the bug mechanics (overflow distance vs redzone/slack, stack vs
+heap, temporal vs spatial), which is what Table 4 compares across tools.
+
+Where a CVE row in Table 4 shows an LFP miss, the scenario encodes the
+reason: CVE-2017-12858 (libzip) is a use-after-free reached through a
+*second* pointer (LFP's per-base table recovers a stale region),
+CVE-2017-9165 (autotrace) overflows by a couple of bytes inside LFP's
+rounding slack, and CVE-2017-14409 (mp3gain) is a stack buffer overflow
+(LFP leaves the stack unguarded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..ir.builder import ProgramBuilder
+from ..ir.nodes import V
+from ..ir.program import Program
+
+
+@dataclass(frozen=True)
+class CveScenario:
+    """One Table 4 row."""
+
+    program_name: str
+    cve_id: str
+    description: str
+    build: Callable[[], Program]
+
+
+def _heap_overflow(size: int, distance: int, width: int = 1) -> Callable[[], Program]:
+    def build() -> Program:
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("buf", size)
+            f.store("buf", size + distance - width, width, 0x41)
+            f.free("buf")
+        return b.build()
+
+    return build
+
+
+def _heap_overread(size: int, distance: int) -> Callable[[], Program]:
+    def build() -> Program:
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("buf", size)
+            f.load("x", "buf", size + distance - 1, 1)
+            f.free("buf")
+        return b.build()
+
+    return build
+
+
+def _scan_overread(size: int, overrun: int) -> Callable[[], Program]:
+    """A parser loop that runs past the end (the libtiff/zziplib shape)."""
+
+    def build() -> Program:
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("buf", size)
+            f.assign("acc", 0)
+            with f.loop("i", 0, size + overrun, bounded=False) as i:
+                f.load("t", "buf", i, 1)
+                f.assign("acc", V("acc") + V("t"))
+            f.free("buf")
+        return b.build()
+
+    return build
+
+
+def _stack_overflow(size: int, distance: int) -> Callable[[], Program]:
+    def build() -> Program:
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.stack_alloc("buf", size)
+            with f.loop("i", 0, size + distance, bounded=False) as i:
+                f.store("buf", i, 1, 0x42)
+        return b.build()
+
+    return build
+
+
+def _use_after_free_via_alias() -> Callable[[], Program]:
+    """libzip CVE-2017-12858: the zip source keeps an aliased pointer to
+    a freed entry; the access goes through the alias."""
+
+    def build() -> Program:
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("entry", 96)
+            f.ptr_add("alias", "entry", 16)
+            f.free("entry")
+            f.load("x", "alias", 0, 8)
+        return b.build()
+
+    return build
+
+
+def _strcpy_overflow(dst_size: int, src_len: int) -> Callable[[], Program]:
+    """lame CVE-2015-9101 shape: strcpy of an oversized string."""
+
+    def build() -> Program:
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("src", src_len + 8)
+            f.memset("src", 0, src_len, 0x41)
+            f.store("src", src_len, 1, 0)
+            f.malloc("dst", dst_size)
+            f.strcpy("dst", 0, "src", 0)
+            f.free("dst")
+            f.free("src")
+        return b.build()
+
+    return build
+
+
+#: The 28 CVEs of Table 4, grouped by program as in the paper.
+TABLE4_SCENARIOS: List[CveScenario] = [
+    CveScenario("libzip", "CVE-2017-12858",
+                "use-after-free via aliased entry pointer",
+                _use_after_free_via_alias()),
+    CveScenario("autotrace", "CVE-2017-9164",
+                "heap overread parsing a bitmap header",
+                _heap_overread(54, 4)),
+    CveScenario("autotrace", "CVE-2017-9165",
+                "2-byte heap overflow inside LFP's rounding slack",
+                _heap_overflow(78, 2)),
+] + [
+    # pixel-conversion overflows write a whole row past the end: the
+    # distance always exceeds LFP's slack, so every tool catches these
+    CveScenario("autotrace", f"CVE-2017-{9166 + k}",
+                "heap overflow in pixel conversion",
+                _heap_overflow(64 + 16 * k, 20 + k))
+    for k in range(8)
+] + [
+    # resample overreads scan past the end of class-exact rows
+    CveScenario("imageworsener", f"CVE-2017-{9204 + k}",
+                "heap overread in image resample",
+                _scan_overread(96 + 32 * k, 6 + k))
+    for k in range(4)
+] + [
+    CveScenario("lame", "CVE-2015-9101",
+                "strcpy heap overflow in id3 handling",
+                _strcpy_overflow(48, 80)),
+    CveScenario("zziplib", "CVE-2017-5976",
+                "heap overread of zip extra field",
+                _scan_overread(64, 10)),
+    CveScenario("zziplib", "CVE-2017-5977",
+                "heap overread of zip central directory",
+                _heap_overread(128, 6)),
+    CveScenario("libtiff", "CVE-2016-10270",
+                "heap overread in TIFFReadDirEntry",
+                _scan_overread(192, 12)),
+    CveScenario("libtiff", "CVE-2016-10271",
+                "heap overflow in tiffcrop",
+                _heap_overflow(128, 24)),
+    CveScenario("libtiff", "CVE-2016-10095",
+                "overflow copying a directory entry into a fixed buffer",
+                _heap_overflow(64, 16)),
+    CveScenario("potrace", "CVE-2017-7263",
+                "far heap overread (bypasses 16-byte in-band redzones)",
+                _heap_overread(256, 40)),
+    CveScenario("mp3gain", "CVE-2017-14407",
+                "overread scanning an APE tag buffer",
+                _scan_overread(64, 8)),
+    CveScenario("mp3gain", "CVE-2017-14408",
+                "heap overflow in tag handling",
+                _heap_overflow(96, 12)),
+    CveScenario("mp3gain", "CVE-2017-14409",
+                "8-byte stack overflow (unprotected by LFP)",
+                _stack_overflow(32, 8)),
+]
+
+
+def scenarios_by_program() -> dict:
+    grouped: dict = {}
+    for scenario in TABLE4_SCENARIOS:
+        grouped.setdefault(scenario.program_name, []).append(scenario)
+    return grouped

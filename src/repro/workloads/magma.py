@@ -1,0 +1,168 @@
+"""Magma-style fuzzing corpora for the redzone experiment (Table 5).
+
+Magma replays crashing inputs through instrumented builds; Table 5 counts
+how many of each project's cases a configuration reports.  What separates
+the columns is the *overflow jump distance*:
+
+* **near** jumps (a few bytes) land in any redzone — every configuration
+  catches them;
+* **mid** jumps (hundreds of bytes) clear a 16-byte redzone and land
+  inside a neighbouring object, but stay within a 512-byte redzone —
+  caught by ``rz=512`` builds and by GiantSan's anchor-based check even
+  at ``rz=16``;
+* **far** jumps (kilobytes — the CVE-2018-14883 shape in php) clear even
+  512-byte redzones; only GiantSan's anchored ``CI(base, access_end)``
+  spans the gap.
+* **latent** cases crash for non-memory reasons (or need state the
+  replay lacks): nobody reports them, they only count in Total.
+
+Each generated case allocates the victim buffer and a large neighbour so
+that bypassing jumps genuinely land in allocated memory under *every*
+redzone setting (the bump allocator keeps chunks adjacent).
+
+Counts are the paper's Table 5 scaled down ~1/32 per project.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..ir.builder import ProgramBuilder
+from ..ir.program import Program
+
+#: Jump distances per case kind (bytes past the end of the victim).
+NEAR_JUMPS = [1, 4, 8, 12]
+MID_JUMPS = [80, 160, 320, 480]
+FAR_JUMPS = [1600, 2400, 3200]
+
+#: The neighbour object must be big enough that every jump lands inside
+#: it under both redzone settings.
+NEIGHBOUR_SIZE = 8192
+
+
+@dataclass(frozen=True)
+class MagmaCase:
+    case_id: str
+    project: str
+    kind: str  # near | mid | far | latent
+    build: Callable[[], Program]
+
+
+@dataclass(frozen=True)
+class MagmaProject:
+    """One Table 5 row: per-kind case counts (scaled from the paper)."""
+
+    name: str
+    loc: str
+    near: int
+    mid: int = 0
+    far: int = 0
+    latent: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.near + self.mid + self.far + self.latent
+
+
+#: Table 5 rows, counts scaled ~1/32 from the paper's.
+TABLE5_PROJECTS: List[MagmaProject] = [
+    MagmaProject("php", "1.3M", near=49, mid=13, far=2, latent=33),
+    MagmaProject("libpng", "86K", near=30),
+    MagmaProject("libtiff", "91K", near=40),
+    MagmaProject("libxml2", "284K", near=40, latent=1),
+    MagmaProject("openssl", "535K", near=3, latent=44),
+    MagmaProject("sqlite3", "367K", near=24),
+    MagmaProject("poppler", "43K", near=30, latent=1),
+]
+
+
+def _overflow_case(size: int, jump: int) -> Callable[[], Program]:
+    """Victim buffer + big neighbour; one write past the victim's end."""
+
+    def build() -> Program:
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("victim", size)
+            f.malloc("neighbour", NEIGHBOUR_SIZE)
+            f.store("victim", size + jump - 1, 1, 0x58)
+            f.free("neighbour")
+            f.free("victim")
+        return b.build()
+
+    return build
+
+
+def _latent_case(size: int) -> Callable[[], Program]:
+    """A replay that performs only in-bounds work (no memory bug fires)."""
+
+    def build() -> Program:
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("buf", size)
+            with f.loop("i", 0, size // 8) as i:
+                f.store("buf", i * 8, 8, i)
+            f.free("buf")
+        return b.build()
+
+    return build
+
+
+def generate_project_cases(project: MagmaProject) -> List[MagmaCase]:
+    """Deterministic case list for one project."""
+    cases: List[MagmaCase] = []
+    sizes = [24, 50, 100, 200, 600]
+    for index in range(project.near):
+        size = sizes[index % len(sizes)]
+        jump = NEAR_JUMPS[index % len(NEAR_JUMPS)]
+        cases.append(
+            MagmaCase(
+                f"{project.name}_near_{index}", project.name, "near",
+                _overflow_case(size, jump),
+            )
+        )
+    for index in range(project.mid):
+        size = sizes[index % len(sizes)]
+        jump = MID_JUMPS[index % len(MID_JUMPS)]
+        cases.append(
+            MagmaCase(
+                f"{project.name}_mid_{index}", project.name, "mid",
+                _overflow_case(size, jump),
+            )
+        )
+    for index in range(project.far):
+        size = sizes[index % len(sizes)]
+        jump = FAR_JUMPS[index % len(FAR_JUMPS)]
+        cases.append(
+            MagmaCase(
+                f"{project.name}_far_{index}", project.name, "far",
+                _overflow_case(size, jump),
+            )
+        )
+    for index in range(project.latent):
+        cases.append(
+            MagmaCase(
+                f"{project.name}_latent_{index}", project.name, "latent",
+                _latent_case(64 + 8 * (index % 16)),
+            )
+        )
+    return cases
+
+
+def generate_magma_suite() -> List[MagmaCase]:
+    """All projects' cases, Table 5 order."""
+    cases: List[MagmaCase] = []
+    for project in TABLE5_PROJECTS:
+        cases.extend(generate_project_cases(project))
+    return cases
+
+
+#: The five configurations Table 5 compares.  Values are (tool name,
+#: sanitizer kwargs) for :class:`repro.runtime.session.Session`.
+TABLE5_CONFIGS = [
+    ("ASan-- (rz=16)", "ASan--", {"redzone": 16}),
+    ("ASan-- (rz=512)", "ASan--", {"redzone": 512}),
+    ("ASan (rz=16)", "ASan", {"redzone": 16}),
+    ("ASan (rz=512)", "ASan", {"redzone": 512}),
+    ("GiantSan (rz=16)", "GiantSan", {"redzone": 16}),
+]

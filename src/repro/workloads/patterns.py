@@ -1,0 +1,111 @@
+"""The four memory-operation patterns of Table 1.
+
+Each pattern returns a program whose hot function matches the paper's
+example code; the Table 1 harness instruments it per tool and counts the
+*static* and *dynamic* checks, reproducing the operation-level vs
+instruction-level comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..ir.builder import ProgramBuilder
+from ..ir.nodes import V
+from ..ir.program import Program
+
+
+@dataclass(frozen=True)
+class Table1Pattern:
+    """One Table 1 row."""
+
+    name: str
+    analysis: str
+    example: str
+    build: Callable[[], Program]
+    #: N used when the pattern is parametric.
+    n: int = 64
+
+
+def constant_propagation_pattern(n: int = 64) -> Program:
+    """``p[0] + p[10] + p[20]`` — mergeable via constant propagation."""
+    b = ProgramBuilder()
+    with b.function("kernel", params=["p"]) as f:
+        f.load("a", "p", 0, 4)
+        f.load("b", "p", 40, 4)
+        f.load("c", "p", 80, 4)
+        f.assign("sum", V("a") + V("b") + V("c"))
+    with b.function("main") as m:
+        m.malloc("buf", 128)
+        m.call("kernel", [V("buf")])
+    return b.build()
+
+
+def predefined_semantics_pattern(n: int = 64) -> Program:
+    """``memset(p, 0, N)`` — one operation, Θ(N) instruction checks."""
+    b = ProgramBuilder()
+    with b.function("kernel", params=["p", "N"]) as f:
+        f.memset("p", 0, V("N"))
+    with b.function("main") as m:
+        m.malloc("buf", 8 * n)
+        m.call("kernel", [V("buf"), 8 * n])
+    return b.build()
+
+
+def loop_bound_pattern(n: int = 64) -> Program:
+    """``for (i = 0; i < N; i++) p[i] = foo(i)`` — SCEV promotable."""
+    b = ProgramBuilder()
+    with b.function("kernel", params=["p", "N"]) as f:
+        with f.loop("i", 0, V("N")) as i:
+            f.store("p", i * 4, 4, i)
+    with b.function("main") as m:
+        m.malloc("buf", 4 * n)
+        m.call("kernel", [V("buf"), n])
+    return b.build()
+
+
+def must_alias_pattern(n: int = 64) -> Program:
+    """``p[0] = 10; for (i : vec) p[i] = foo(i)`` — slow check once, then
+    cached fast checks (Table 1's fourth row)."""
+    b = ProgramBuilder()
+    with b.function("kernel", params=["p", "vec", "N"]) as f:
+        f.store("p", 0, 4, 10)
+        with f.loop("i", 0, V("N"), bounded=False) as i:
+            f.load("e", "vec", i * 4, 4)
+            f.store("p", V("e") * 4, 4, i)
+    with b.function("main") as m:
+        m.malloc("buf", 4 * n)
+        m.malloc("vec", 4 * n)
+        with m.loop("k", 0, n) as k:
+            m.store("vec", k * 4, 4, k)
+        m.call("kernel", [V("buf"), V("vec"), n])
+    return b.build()
+
+
+TABLE1_PATTERNS: List[Table1Pattern] = [
+    Table1Pattern(
+        name="constant-propagation",
+        analysis="Constant Propagation",
+        example="p[0] + p[10] + p[20]",
+        build=constant_propagation_pattern,
+    ),
+    Table1Pattern(
+        name="predefined-semantics",
+        analysis="Predefined Semantics",
+        example="memset(p, 0, N)",
+        build=predefined_semantics_pattern,
+    ),
+    Table1Pattern(
+        name="loop-bound",
+        analysis="Loop Bound Analysis",
+        example="for (i = 0; i < N; i++) p[i] = foo(i)",
+        build=loop_bound_pattern,
+    ),
+    Table1Pattern(
+        name="must-alias",
+        analysis="Must-alias Analysis",
+        example="p[0] = 10; for (i : vec) p[i] = foo(i)",
+        build=must_alias_pattern,
+    ),
+]

@@ -1,0 +1,350 @@
+"""Synthetic proxies for the 24 SPEC CPU2017 programs of Table 2.
+
+The real benchmark cannot run in this substrate, so each proxy models the
+*memory-access character* that determines a sanitizer's overhead on that
+program — the mix of promotable affine sweeps, dedupe-able structure
+accesses, cache-friendly data-dependent indices, allocator churn, and
+string intrinsics.  The mixes follow the workload descriptions in the
+SPEC documentation and the per-program behaviour visible in the paper's
+Table 2 / Figure 10 (e.g. lbm/namd/mcf are dominated by loops the paper
+reports as >80% optimizable; perlbench and gcc are interpreter-like and
+stay expensive for every tool).
+
+Structure matters for fidelity: hot loops live in *separate functions
+receiving buffer pointers as parameters*, exactly as in the originals.
+Static analyses are intra-procedural (like LLVM's), so a callee cannot
+see the allocation size — which keeps ASan--'s provably-safe elimination
+honest while GiantSan's promotion/caching (which only need the pointer)
+still apply.
+
+Every proxy is a function ``build() -> Program`` whose entry takes one
+``scale`` argument multiplying the iteration counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..ir.builder import ProgramBuilder
+from ..ir.nodes import V
+from ..ir.program import Program
+from . import kernels
+
+
+@dataclass(frozen=True)
+class SpecProgram:
+    """One Table 2 row: a named proxy and its default scale argument."""
+
+    name: str
+    build: Callable[[], Program]
+    default_scale: int = 8
+    description: str = ""
+
+
+# ----------------------------------------------------------------------
+# interpreter-like: perlbench, gcc (dispatch + strings + churn)
+# ----------------------------------------------------------------------
+def _perlbench() -> Program:
+    b = ProgramBuilder()
+    with b.function("run_ops", params=["code", "heap"]) as k:
+        kernels.dispatch_loop(k, "code", "heap", 512, 256, var="pc")
+    with b.function("run_strings", params=["sbuf", "dbuf"]) as k:
+        kernels.c_string_copy(k, "sbuf", "dbuf", 256, repeats=4, var="s1")
+        kernels.reverse_sweep(k, "sbuf", "_send", 64, var="rv1")
+        kernels.alloc_churn(k, 8, size=40, var="a1")
+    with b.function("touch_svs", params=["svs"]) as k:
+        kernels.scattered_access(k, "svs", 96, var="o1", tail_offset=32)
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("code", 4096)
+        f.malloc("heap", 2048)
+        f.malloc("sbuf", 256)
+        f.malloc("dbuf", 256)
+        f.malloc("svs", 768)
+        kernels.fill_indices(f, "code", 1024, 256, var="k0")
+        kernels.build_pointer_table(f, "svs", 96, object_size=40, var="k1")
+        with f.loop("rep", 0, V("scale")):
+            f.call("run_ops", [V("code"), V("heap")])
+            f.call("run_strings", [V("sbuf"), V("dbuf")])
+            f.call("touch_svs", [V("svs")])
+    return b.build()
+
+
+def _gcc() -> Program:
+    b = ProgramBuilder()
+    with b.function("walk_ast", params=["ast"]) as k:
+        kernels.struct_walk(k, "ast", 256, var="r1")
+    with b.function("run_passes", params=["code", "pool"]) as k:
+        kernels.dispatch_loop(k, "code", "pool", 384, 256, var="pc")
+        kernels.alloc_churn(k, 12, size=64, var="a1")
+    with b.function("touch_nodes", params=["nodes"]) as k:
+        kernels.scattered_access(k, "nodes", 128, var="o1", tail_offset=40)
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("ast", 8192)
+        f.malloc("code", 4096)
+        f.malloc("pool", 2048)
+        f.malloc("nodes", 1024)
+        kernels.fill_indices(f, "code", 1024, 256, var="k0")
+        kernels.build_pointer_table(f, "nodes", 128, object_size=48, var="k1")
+        with f.loop("rep", 0, V("scale")):
+            f.call("walk_ast", [V("ast")])
+            f.call("run_passes", [V("code"), V("pool")])
+            f.call("touch_nodes", [V("nodes")])
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# pointer chasing: mcf, omnetpp
+# ----------------------------------------------------------------------
+def _mcf() -> Program:
+    b = ProgramBuilder()
+    with b.function("simplex", params=["arcs", "nodes"]) as k:
+        kernels.pointer_chase(k, "arcs", 768, 1024, var="h1")
+        kernels.struct_walk(k, "nodes", 256, var="r1")
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("arcs", 8192)
+        f.malloc("nodes", 8192)
+        kernels.fill_chase_links(f, "arcs", 1024, var="k0")
+        with f.loop("rep", 0, V("scale")):
+            f.call("simplex", [V("arcs"), V("nodes")])
+    return b.build()
+
+
+def _omnetpp() -> Program:
+    b = ProgramBuilder()
+    with b.function("schedule", params=["queue", "events", "msgs"]) as k:
+        kernels.pointer_chase(k, "queue", 384, 512, var="h1")
+        kernels.alloc_churn(k, 24, size=56, var="a1")
+        kernels.scattered_access(k, "msgs", 96, var="o1", tail_offset=48)
+        kernels.struct_walk(k, "events", 128, var="r1")
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("queue", 4096)
+        f.malloc("events", 8192)
+        f.malloc("msgs", 768)
+        kernels.fill_chase_links(f, "queue", 512, var="k0")
+        kernels.build_pointer_table(f, "msgs", 96, object_size=56, var="k1")
+        with f.loop("rep", 0, V("scale")):
+            f.call("schedule", [V("queue"), V("events"), V("msgs")])
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# numeric affine: namd, lbm, nab, parest, imagick
+# ----------------------------------------------------------------------
+def _namd() -> Program:
+    b = ProgramBuilder()
+    with b.function("forces_kernel", params=["forces", "coords"]) as k:
+        kernels.affine_read_sweep(k, "coords", 1024, stride=8, width=8,
+                                  var="i1", dst="acc1")
+        kernels.affine_sweep(k, "forces", 1024, stride=8, width=8,
+                             var="i2", value=V("acc1"))
+        kernels.struct_walk(k, "coords", 192, record_size=40, var="r1")
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("forces", 8192)
+        f.malloc("coords", 8192)
+        with f.loop("rep", 0, V("scale")):
+            f.call("forces_kernel", [V("forces"), V("coords")])
+    return b.build()
+
+
+def _lbm() -> Program:
+    b = ProgramBuilder()
+    with b.function("stream_collide", params=["src", "dst"]) as k:
+        kernels.stencil_sweep(k, "src", "dst", 2048, var="i1")
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("src", 8192)
+        f.malloc("dst", 8192)
+        with f.loop("rep", 0, V("scale")):
+            f.call("stream_collide", [V("src"), V("dst")])
+            f.call("stream_collide", [V("dst"), V("src")])
+    return b.build()
+
+
+def _nab() -> Program:
+    b = ProgramBuilder()
+    with b.function("energy", params=["atoms", "grid"]) as k:
+        kernels.affine_read_sweep(k, "atoms", 2048, var="i1", dst="acc1")
+        kernels.affine_sweep(k, "grid", 2048, var="i2", value=V("acc1"))
+        kernels.string_ops(k, "atoms", "grid", 4096, repeats=1, var="s1")
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("atoms", 8192)
+        f.malloc("grid", 8192)
+        with f.loop("rep", 0, V("scale")):
+            f.call("energy", [V("atoms"), V("grid")])
+    return b.build()
+
+
+def _parest() -> Program:
+    b = ProgramBuilder()
+    with b.function("matvec", params=["matrix", "colidx", "vector"]) as k:
+        kernels.affine_read_sweep(k, "matrix", 1024, stride=8, width=8,
+                                  var="i1", dst="acc1")
+        kernels.indirect_access(k, "colidx", "vector", 512, var="i2")
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("matrix", 16384)
+        f.malloc("colidx", 4096)
+        f.malloc("vector", 2048)
+        kernels.fill_indices(f, "colidx", 1024, 256, var="k0")
+        with f.loop("rep", 0, V("scale")):
+            f.call("matvec", [V("matrix"), V("colidx"), V("vector")])
+    return b.build()
+
+
+def _imagick() -> Program:
+    b = ProgramBuilder()
+    with b.function("filter_pass", params=["img", "out"]) as k:
+        kernels.stencil_sweep(k, "img", "out", 2048, var="i1")
+        kernels.string_ops(k, "img", "out", 8192, repeats=1, var="s1")
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("img", 16384)
+        f.malloc("out", 16384)
+        with f.loop("rep", 0, V("scale")):
+            f.call("filter_pass", [V("img"), V("out")])
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# search trees / boards: deepsjeng, leela, povray, xalancbmk
+# ----------------------------------------------------------------------
+def _deepsjeng() -> Program:
+    b = ProgramBuilder()
+    with b.function("search", params=["board", "hash", "moves", "tt"]) as k:
+        kernels.affine_read_sweep(k, "board", 128, var="i1", dst="acc1")
+        kernels.indirect_access(k, "moves", "hash", 384, var="i2", width=8)
+        kernels.scattered_access(k, "tt", 64, var="o1", tail_offset=16)
+        kernels.struct_walk(k, "board", 32, var="r1")
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("board", 1024)
+        f.malloc("hash", 8192)
+        f.malloc("moves", 2048)
+        f.malloc("tt", 512)
+        kernels.fill_indices(f, "moves", 512, 1024, var="k0")
+        kernels.build_pointer_table(f, "tt", 64, object_size=24, var="k1")
+        with f.loop("rep", 0, V("scale")):
+            f.call("search", [V("board"), V("hash"), V("moves"), V("tt")])
+    return b.build()
+
+
+def _leela() -> Program:
+    b = ProgramBuilder()
+    with b.function("playout", params=["board", "tree"]) as k:
+        kernels.pointer_chase(k, "tree", 256, 1024, var="h1")
+        kernels.affine_sweep(k, "board", 361, var="i1")
+        kernels.struct_walk(k, "tree", 128, var="r1")
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("board", 2048)
+        f.malloc("tree", 8192)
+        kernels.fill_chase_links(f, "tree", 1024, var="k0")
+        with f.loop("rep", 0, V("scale")):
+            f.call("playout", [V("board"), V("tree")])
+    return b.build()
+
+
+def _povray() -> Program:
+    b = ProgramBuilder()
+    with b.function("trace", params=["objects", "rays", "shapes"]) as k:
+        kernels.indirect_access(k, "rays", "objects", 512, var="i1", width=8)
+        kernels.struct_walk(k, "objects", 192, var="r1")
+        kernels.scattered_access(k, "shapes", 128, var="o1", field_count=3, tail_offset=72)
+        kernels.alloc_churn(k, 8, size=96, var="a1")
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("objects", 8192)
+        f.malloc("rays", 4096)
+        f.malloc("shapes", 1024)
+        kernels.fill_indices(f, "rays", 1024, 256, var="k0")
+        kernels.build_pointer_table(f, "shapes", 128, object_size=80, var="k1")
+        with f.loop("rep", 0, V("scale")):
+            f.call("trace", [V("objects"), V("rays"), V("shapes")])
+    return b.build()
+
+
+def _xalancbmk() -> Program:
+    b = ProgramBuilder()
+    with b.function("transform", params=["dom", "text", "out", "attrs"]) as k:
+        kernels.pointer_chase(k, "dom", 192, 512, var="h1")
+        kernels.scattered_access(k, "attrs", 64, var="o1", tail_offset=24)
+        kernels.c_string_copy(k, "text", "out", 512, repeats=4, var="s1")
+        kernels.string_ops(k, "text", "out", 1024, repeats=2, var="s2")
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("dom", 8192)
+        f.malloc("text", 1024)
+        f.malloc("out", 1024)
+        f.malloc("attrs", 512)
+        kernels.fill_chase_links(f, "dom", 512, var="k0")
+        kernels.build_pointer_table(f, "attrs", 64, object_size=32, var="k1")
+        with f.loop("rep", 0, V("scale")):
+            f.call("transform", [V("dom"), V("text"), V("out"), V("attrs")])
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# compression: xz
+# ----------------------------------------------------------------------
+def _xz() -> Program:
+    b = ProgramBuilder()
+    with b.function("find_matches", params=["window", "matches"]) as k:
+        kernels.indirect_access(k, "matches", "window", 512, var="i1")
+        kernels.affine_read_sweep(k, "window", 1024, var="i2", dst="acc1")
+        kernels.string_ops(k, "window", "matches", 2048, repeats=1, var="s1")
+    with b.function("main", params=["scale"]) as f:
+        f.malloc("window", 16384)
+        f.malloc("matches", 4096)
+        kernels.fill_indices(f, "matches", 1024, 4096, var="k0")
+        with f.loop("rep", 0, V("scale")):
+            f.call("find_matches", [V("window"), V("matches")])
+    return b.build()
+
+
+_BUILDERS: Dict[str, Callable[[], Program]] = {
+    "perlbench": _perlbench,
+    "gcc": _gcc,
+    "mcf": _mcf,
+    "namd": _namd,
+    "parest": _parest,
+    "povray": _povray,
+    "lbm": _lbm,
+    "omnetpp": _omnetpp,
+    "xalancbmk": _xalancbmk,
+    "deepsjeng": _deepsjeng,
+    "imagick": _imagick,
+    "leela": _leela,
+    "xz": _xz,
+    "nab": _nab,
+}
+
+#: The 24 Table 2 rows.  The rate (_r) and speed (_s) variants share a
+#: proxy kernel but run at different scales, mirroring how SPEC's speed
+#: runs use larger inputs of the same program.
+SPEC_TABLE2_ROWS: List[SpecProgram] = [
+    SpecProgram("500.perlbench_r", _perlbench, 6, "Perl interpreter"),
+    SpecProgram("502.gcc_r", _gcc, 6, "C compiler"),
+    SpecProgram("505.mcf_r", _mcf, 8, "network simplex"),
+    SpecProgram("508.namd_r", _namd, 8, "molecular dynamics"),
+    SpecProgram("510.parest_r", _parest, 8, "finite elements"),
+    SpecProgram("511.povray_r", _povray, 8, "ray tracing"),
+    SpecProgram("519.lbm_r", _lbm, 8, "lattice Boltzmann"),
+    SpecProgram("520.omnetpp_r", _omnetpp, 8, "discrete event sim"),
+    SpecProgram("523.xalancbmk_r", _xalancbmk, 8, "XML transform"),
+    SpecProgram("531.deepsjeng_r", _deepsjeng, 8, "chess search"),
+    SpecProgram("538.imagick_r", _imagick, 8, "image manipulation"),
+    SpecProgram("541.leela_r", _leela, 8, "Go MCTS"),
+    SpecProgram("557.xz_r", _xz, 8, "LZMA compression"),
+    SpecProgram("600.perlbench_s", _perlbench, 9, "Perl interpreter"),
+    SpecProgram("602.gcc_s", _gcc, 9, "C compiler"),
+    SpecProgram("605.mcf_s", _mcf, 12, "network simplex"),
+    SpecProgram("619.lbm_s", _lbm, 12, "lattice Boltzmann"),
+    SpecProgram("620.omnetpp_s", _omnetpp, 12, "discrete event sim"),
+    SpecProgram("623.xalancbmk_s", _xalancbmk, 12, "XML transform"),
+    SpecProgram("631.deepsjeng_s", _deepsjeng, 12, "chess search"),
+    SpecProgram("638.imagick_s", _imagick, 12, "image manipulation"),
+    SpecProgram("641.leela_s", _leela, 12, "Go MCTS"),
+    SpecProgram("644.nab_s", _nab, 12, "molecular modelling"),
+    SpecProgram("657.xz_s", _xz, 12, "LZMA compression"),
+]
+
+SPEC_BY_NAME: Dict[str, SpecProgram] = {p.name: p for p in SPEC_TABLE2_ROWS}
+
+
+def build_spec_program(name: str) -> Program:
+    """Build the proxy program for one Table 2 row."""
+    return SPEC_BY_NAME[name].build()

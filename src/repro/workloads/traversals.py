@@ -1,0 +1,98 @@
+"""Buffer traversal patterns for the Figure 11 limitation study (§5.4).
+
+Three ways to visit every 4-byte cell of a buffer once:
+
+* **forward** — ascending offsets through the base pointer.  The
+  quasi-bound converges in ``ceil(log2(n/8))`` updates; almost every
+  check is a cache hit.
+* **random** — an in-IR LCG permutes the visit order.  Hits dominate
+  once the bound covers the object, so GiantSan still wins (the paper
+  measures a bigger win here because ASan's shadow loads miss hardware
+  caches under random access; our flat cost model notes this in
+  EXPERIMENTS.md).
+* **reverse** — descending offsets through a pointer anchored at the
+  buffer *end*: every access has a negative offset, and GiantSan keeps
+  no quasi-lower-bound, so each access runs a dedicated underflow CI —
+  the §5.4 deterioration (GiantSan slower than ASan here).
+
+All loops are data-dependent (``bounded=False``) so no tool can promote
+them away; this isolates the per-access check cost as Figure 11 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..ir.builder import ProgramBuilder
+from ..ir.nodes import V
+from ..ir.program import Program
+
+#: Buffer sizes (bytes) swept by the Figure 11 experiment: 1KB..16KB.
+FIGURE11_SIZES = [1024, 2048, 4096, 8192, 16384]
+
+
+def forward_traversal(size: int) -> Program:
+    """Figure 11a: lowest to highest address."""
+    cells = size // 4
+    b = ProgramBuilder()
+    with b.function("walk", params=["y", "n"]) as f:
+        with f.loop("i", 0, V("n"), bounded=False) as i:
+            f.load("t", "y", i * 4, 4)
+            f.compute(2.0)
+    with b.function("main") as m:
+        m.malloc("buf", size)
+        m.call("walk", [V("buf"), cells])
+    return b.build()
+
+
+def random_traversal(size: int) -> Program:
+    """Figure 11b: visit cells in LCG-scrambled order."""
+    cells = size // 4
+    b = ProgramBuilder()
+    with b.function("walk", params=["y", "n"]) as f:
+        f.assign("seed", 12345)
+        with f.loop("i", 0, V("n"), bounded=False):
+            f.assign("seed", (V("seed") * 1103515245 + 12345) & 0x7FFFFFFF)
+            f.assign("j", V("seed") % V("n"))
+            f.load("t", "y", V("j") * 4, 4)
+            f.compute(2.0)
+    with b.function("main") as m:
+        m.malloc("buf", size)
+        m.call("walk", [V("buf"), cells])
+    return b.build()
+
+
+def reverse_traversal(size: int) -> Program:
+    """Figure 11c: highest to lowest address via a decrementing pointer.
+
+    The working pointer is re-derived every iteration (the classic
+    ``p--`` idiom), so the quasi-bound has nothing stable to anchor to:
+    GiantSan pays a fresh anchor-enhanced CI per access — the "extra
+    instructions" §5.4 blames for being slower than ASan here — while
+    walking forward the same loop shape would have cached.
+    """
+    cells = size // 4
+    b = ProgramBuilder()
+    with b.function("walk", params=["y", "n"]) as f:
+        with f.loop("i", 1, V("n") + 1, bounded=False) as i:
+            f.ptr_add("p", "y", (V("n") - i) * 4)
+            f.load("t", "p", 0, 4)
+            f.compute(2.0)
+    with b.function("main") as m:
+        m.malloc("buf", size)
+        m.call("walk", [V("buf"), cells])
+    return b.build()
+
+
+@dataclass(frozen=True)
+class TraversalPattern:
+    name: str
+    build: Callable[[int], Program]
+
+
+FIGURE11_PATTERNS: List[TraversalPattern] = [
+    TraversalPattern("forward", forward_traversal),
+    TraversalPattern("random", random_traversal),
+    TraversalPattern("reverse", reverse_traversal),
+]

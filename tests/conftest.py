@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.memory import AddressSpace, ArenaLayout, HeapAllocator
+from repro.shadow import ShadowMemory
+
+
+@pytest.fixture
+def layout():
+    """A small arena layout to keep tests fast."""
+    return ArenaLayout(heap_size=1 << 18, stack_size=1 << 16, globals_size=1 << 14)
+
+
+@pytest.fixture
+def space(layout):
+    return AddressSpace(layout)
+
+
+@pytest.fixture
+def shadow(layout):
+    return ShadowMemory(layout.total_size)
+
+
+@pytest.fixture
+def allocator(space):
+    return HeapAllocator(space, redzone=16)

@@ -1,0 +1,163 @@
+"""Tests for the heap allocator: alignment, redzones, size policies."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.memory import (
+    AddressSpace,
+    Allocation,
+    AllocationState,
+    ArenaLayout,
+    HeapAllocator,
+    exact_size_policy,
+    low_fat_policy,
+    power_of_two_policy,
+)
+
+
+class TestBasicAllocation:
+    def test_base_is_8_byte_aligned(self, allocator):
+        for size in (1, 7, 8, 13, 100, 4096):
+            assert allocator.malloc(size).base % 8 == 0
+
+    def test_requested_size_preserved(self, allocator):
+        allocation = allocator.malloc(100)
+        assert allocation.requested_size == 100
+        assert allocation.usable_size == 100
+
+    def test_redzones_surround_object(self, allocator):
+        allocation = allocator.malloc(24)
+        assert allocation.chunk_base < allocation.base
+        assert allocation.chunk_end > allocation.end
+        assert allocation.left_redzone >= 16
+        assert allocation.right_redzone >= 1
+
+    def test_chunks_do_not_overlap(self, allocator):
+        a = allocator.malloc(40)
+        b = allocator.malloc(40)
+        assert a.chunk_end <= b.chunk_base or b.chunk_end <= a.chunk_base
+
+    def test_chunks_segment_aligned(self, allocator):
+        a = allocator.malloc(13)
+        assert a.chunk_base % 8 == 0
+        assert a.chunk_size % 8 == 0
+
+    def test_unique_ids(self, allocator):
+        ids = {allocator.malloc(8).allocation_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_zero_size_allocation(self, allocator):
+        allocation = allocator.malloc(0)
+        assert allocation.usable_size >= 1
+
+    def test_negative_size_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.malloc(-1)
+
+    def test_arena_exhaustion(self):
+        layout = ArenaLayout(heap_size=1 << 12, stack_size=1 << 12, globals_size=1 << 12)
+        allocator = HeapAllocator(AddressSpace(layout), redzone=16)
+        with pytest.raises(AllocationError):
+            for _ in range(1000):
+                allocator.malloc(64)
+
+
+class TestFreeAndRecycle:
+    def test_free_marks_quarantined(self, allocator):
+        allocation = allocator.malloc(32)
+        freed = allocator.free(allocation.base)
+        assert freed is allocation
+        assert allocation.state is AllocationState.QUARANTINED
+
+    def test_double_free_raises(self, allocator):
+        allocation = allocator.malloc(32)
+        allocator.free(allocation.base)
+        with pytest.raises(AllocationError):
+            allocator.free(allocation.base)
+
+    def test_invalid_free_raises(self, allocator):
+        allocation = allocator.malloc(32)
+        with pytest.raises(AllocationError):
+            allocator.free(allocation.base + 8)
+
+    def test_release_requires_quarantined(self, allocator):
+        allocation = allocator.malloc(32)
+        with pytest.raises(AllocationError):
+            allocator.release_chunk(allocation)
+
+    def test_chunk_reuse_after_release(self, allocator):
+        a = allocator.malloc(32)
+        allocator.free(a.base)
+        allocator.release_chunk(a)
+        b = allocator.malloc(32)
+        assert b.chunk_base == a.chunk_base
+
+    def test_lookup_live_only(self, allocator):
+        allocation = allocator.malloc(32)
+        assert allocator.lookup(allocation.base) is allocation
+        allocator.free(allocation.base)
+        assert allocator.lookup(allocation.base) is None
+
+    def test_find_containing(self, allocator):
+        allocation = allocator.malloc(64)
+        assert allocator.find_containing(allocation.base + 10) is allocation
+        assert allocator.find_containing(allocation.chunk_base) is None
+
+    def test_bytes_in_use_accounting(self, allocator):
+        before = allocator.bytes_in_use
+        a = allocator.malloc(128)
+        assert allocator.bytes_in_use == before + a.chunk_size
+        allocator.free(a.base)
+        allocator.release_chunk(a)
+        assert allocator.bytes_in_use == before
+
+
+class TestSizePolicies:
+    def test_exact_policy_identity(self):
+        assert exact_size_policy(600) == 600
+
+    @pytest.mark.parametrize(
+        "requested,expected",
+        [(1, 1), (2, 2), (3, 4), (600, 1024), (1024, 1024), (1025, 2048)],
+    )
+    def test_power_of_two_policy(self, requested, expected):
+        assert power_of_two_policy(requested) == expected
+
+    @pytest.mark.parametrize(
+        "requested,expected",
+        [(1, 16), (16, 16), (17, 20), (600, 640), (1024, 1024), (1100, 1280)],
+    )
+    def test_low_fat_policy(self, requested, expected):
+        assert low_fat_policy(requested) == expected
+
+    def test_low_fat_never_shrinks(self):
+        for requested in range(1, 3000, 7):
+            assert low_fat_policy(requested) >= requested
+
+    def test_policy_slack_is_usable(self, space):
+        allocator = HeapAllocator(space, redzone=0, size_policy=power_of_two_policy)
+        allocation = allocator.malloc(600)
+        assert allocation.usable_size == 1024
+        assert allocation.usable_end - allocation.base == 1024
+
+    def test_shrinking_policy_rejected(self, space):
+        allocator = HeapAllocator(space, redzone=0, size_policy=lambda s: s // 2)
+        with pytest.raises(AllocationError):
+            allocator.malloc(100)
+
+
+class TestAllocationRecord:
+    def test_contains(self, allocator):
+        allocation = allocator.malloc(50)
+        assert allocation.contains(allocation.base)
+        assert allocation.contains(allocation.base + 49)
+        assert not allocation.contains(allocation.base + 50)
+        assert not allocation.contains(allocation.base - 1)
+
+    def test_chunk_size_consistent(self, allocator):
+        allocation = allocator.malloc(100)
+        assert allocation.chunk_size == (
+            allocation.left_redzone
+            + allocation.usable_size
+            + allocation.right_redzone
+        )

@@ -1,0 +1,112 @@
+"""Tests for the analysis package: studies and table renderers."""
+
+import pytest
+
+from repro.analysis import (
+    measure_program,
+    render_figure10,
+    render_figure11,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    run_figure10_study,
+    run_figure11_study,
+    run_juliet_study,
+    run_linux_flaw_study,
+    run_magma_study,
+    run_overhead_study,
+)
+from repro.workloads.juliet import generate_juliet_suite
+from repro.workloads.linux_flaw import TABLE4_SCENARIOS
+from repro.workloads.magma import TABLE5_PROJECTS
+from repro.workloads.spec import SPEC_BY_NAME, SPEC_TABLE2_ROWS
+
+
+@pytest.fixture(scope="module")
+def small_overhead_study():
+    return run_overhead_study(
+        tools=["GiantSan", "ASan"],
+        programs=SPEC_TABLE2_ROWS[:3],
+        scale=1,
+    )
+
+
+class TestOverheadStudy:
+    def test_ratios_at_least_one(self, small_overhead_study):
+        for row in small_overhead_study.rows:
+            for tool, ratio in row.ratios.items():
+                assert ratio >= 1.0, (row.program, tool)
+
+    def test_geometric_means_ordering(self, small_overhead_study):
+        means = small_overhead_study.geometric_means()
+        assert means["GiantSan"] < means["ASan"]
+
+    def test_measure_program_native_baseline(self):
+        row = measure_program(SPEC_BY_NAME["519.lbm_r"], ["GiantSan"], scale=1)
+        assert row.native_cycles > 0
+        assert "GiantSan" in row.results
+
+    def test_render_table2(self, small_overhead_study):
+        text = render_table2(small_overhead_study)
+        assert "Geometric Means" in text
+        assert "500.perlbench_r" in text
+        assert "%" in text
+
+
+class TestDetectionStudies:
+    def test_juliet_subset(self):
+        cases = generate_juliet_suite(["CWE476", "CWE761"])
+        results = run_juliet_study(tools=["GiantSan", "LFP"], cases=cases)
+        assert results.detected["GiantSan"]["CWE476"] == results.totals["CWE476"]
+        assert results.false_positives == {"GiantSan": 0, "LFP": 0}
+        text = render_table3(results)
+        assert "CWE476" in text
+
+    def test_linux_flaw_subset(self):
+        results = run_linux_flaw_study(
+            tools=["GiantSan", "LFP"], scenarios=TABLE4_SCENARIOS[:3]
+        )
+        assert not results.misses("GiantSan")
+        assert "CVE-2017-12858" in results.misses("LFP")
+        text = render_table4(results)
+        assert "libzip" in text
+
+    def test_magma_subset(self):
+        libpng = [p for p in TABLE5_PROJECTS if p.name == "libpng"]
+        results = run_magma_study(projects=libpng)
+        per_config = results.detected["libpng"]
+        values = set(per_config.values())
+        assert values == {results.totals["libpng"]}  # all configs equal
+        text = render_table5(results)
+        assert "libpng" in text
+
+
+class TestFigureStudies:
+    def test_figure10_fractions_sum_to_one(self):
+        breakdowns = run_figure10_study(SPEC_TABLE2_ROWS[:2], scale=1)
+        for item in breakdowns:
+            total_fraction = sum(
+                item.fraction(c)
+                for c in ("full_check", "fast_only", "cached", "eliminated")
+            )
+            assert total_fraction == pytest.approx(1.0)
+
+    def test_figure10_render(self):
+        breakdowns = run_figure10_study(SPEC_TABLE2_ROWS[:1], scale=1)
+        text = render_figure10(breakdowns)
+        assert "optimized" in text
+
+    def test_figure11_study_and_render(self):
+        study = run_figure11_study(sizes=[1024, 2048])
+        assert study.speedup_vs_asan("forward") > 1.0
+        assert study.speedup_vs_asan("reverse") < 1.0
+        text = render_figure11(study)
+        assert "forward traversal" in text
+        assert "reverse traversal" in text
+
+    def test_table1_render(self):
+        text = render_table1()
+        assert "Constant Propagation" in text
+        assert "Loop Bound Analysis" in text

@@ -1,0 +1,104 @@
+"""Tests for the ASan shadow encoding (paper §2.2, Example 1)."""
+
+import pytest
+
+from repro.errors import ErrorKind
+from repro.memory import HeapAllocator
+from repro.shadow import ShadowMemory, asan_encoding as enc
+
+
+class TestCodes:
+    def test_good_and_partial(self):
+        assert enc.GOOD == 0
+        assert enc.addressable_prefix(enc.GOOD) == 8
+        for k in range(1, 8):
+            assert enc.is_partial(k)
+            assert enc.addressable_prefix(k) == k
+
+    def test_poison_codes(self):
+        for code in (enc.HEAP_LEFT_REDZONE, enc.HEAP_FREED, enc.STACK_AFTER_RETURN):
+            assert enc.is_poison(code)
+            assert enc.addressable_prefix(code) == 0
+
+    def test_classification(self):
+        assert enc.classify(enc.HEAP_FREED) is ErrorKind.USE_AFTER_FREE
+        assert enc.classify(enc.HEAP_RIGHT_REDZONE) is ErrorKind.HEAP_BUFFER_OVERFLOW
+        assert enc.classify(3) is ErrorKind.HEAP_BUFFER_OVERFLOW
+        assert enc.classify(enc.GOOD) is ErrorKind.UNKNOWN
+
+
+class TestPoisoning:
+    def test_object_states(self, space, shadow):
+        allocator = HeapAllocator(space, redzone=16)
+        allocation = allocator.malloc(20)  # 2 good + 4-partial
+        enc.poison_allocation(shadow, allocation)
+        index = ShadowMemory.index_of(allocation.base)
+        assert shadow.load(index) == enc.GOOD
+        assert shadow.load(index + 1) == enc.GOOD
+        assert shadow.load(index + 2) == 4
+
+    def test_redzones(self, space, shadow):
+        allocator = HeapAllocator(space, redzone=16)
+        allocation = allocator.malloc(20)
+        enc.poison_allocation(shadow, allocation)
+        assert (
+            shadow.load(ShadowMemory.index_of(allocation.chunk_base))
+            == enc.HEAP_LEFT_REDZONE
+        )
+        assert (
+            shadow.load(ShadowMemory.index_of(allocation.chunk_end - 1))
+            == enc.HEAP_RIGHT_REDZONE
+        )
+
+    def test_freed(self, space, shadow):
+        allocator = HeapAllocator(space, redzone=16)
+        allocation = allocator.malloc(24)
+        enc.poison_allocation(shadow, allocation)
+        enc.poison_freed(shadow, allocation)
+        index = ShadowMemory.index_of(allocation.base)
+        assert shadow.load(index) == enc.HEAP_FREED
+
+
+class TestSmallAccessCheck:
+    """ASan's Example 1: v != 0 and (p & 7) + w > v => error."""
+
+    @pytest.fixture
+    def poisoned(self, space, shadow):
+        allocator = HeapAllocator(space, redzone=16)
+        allocation = allocator.malloc(12)  # one good + 4-partial segment
+        enc.poison_allocation(shadow, allocation)
+        return shadow, allocation
+
+    def test_good_segment_any_width(self, poisoned):
+        shadow, allocation = poisoned
+        for width in (1, 2, 4, 8):
+            assert enc.check_small_access(shadow, allocation.base, width) is None
+
+    def test_partial_segment_within_prefix(self, poisoned):
+        shadow, allocation = poisoned
+        assert enc.check_small_access(shadow, allocation.base + 8, 4) is None
+
+    def test_partial_segment_beyond_prefix(self, poisoned):
+        shadow, allocation = poisoned
+        code = enc.check_small_access(shadow, allocation.base + 8, 8)
+        assert code == 4
+
+    def test_offset_within_partial(self, poisoned):
+        shadow, allocation = poisoned
+        assert enc.check_small_access(shadow, allocation.base + 11, 1) is None
+        assert enc.check_small_access(shadow, allocation.base + 12, 1) == 4
+
+    def test_redzone_hit(self, poisoned):
+        shadow, allocation = poisoned
+        code = enc.check_small_access(shadow, allocation.base - 8, 1)
+        assert code == enc.HEAP_LEFT_REDZONE
+
+    def test_straddling_access_good(self, poisoned):
+        shadow, allocation = poisoned
+        # bytes 4..11 straddle the good and partial segments
+        assert enc.check_small_access(shadow, allocation.base + 4, 8) is None
+
+    def test_straddling_access_bad(self, poisoned):
+        shadow, allocation = poisoned
+        # bytes 6..13 include bytes 12..13, beyond the 4-byte prefix
+        assert enc.check_small_access(shadow, allocation.base + 6, 8) == 4

@@ -1,0 +1,82 @@
+"""Tests for the cycle cost model."""
+
+import pytest
+
+from repro.runtime import CostModel, geometric_mean
+from repro.runtime.cost_model import NativeCosts, SanitizerCosts
+from repro.sanitizers import CheckStats
+
+
+class TestSanitizerCosts:
+    def test_zero_stats_zero_cost(self):
+        assert SanitizerCosts().cycles(CheckStats()) == 0.0
+
+    def test_each_counter_contributes(self):
+        costs = SanitizerCosts()
+        base = costs.cycles(CheckStats())
+        for counter in (
+            "shadow_loads",
+            "shadow_stores",
+            "instruction_checks",
+            "region_checks",
+            "slow_checks",
+            "cached_hits",
+            "cache_updates",
+            "extra_instructions",
+            "allocations",
+            "frees",
+        ):
+            stats = CheckStats(**{counter: 1})
+            assert costs.cycles(stats) > base, counter
+
+    def test_linear_in_counts(self):
+        costs = SanitizerCosts()
+        one = costs.cycles(CheckStats(shadow_loads=1))
+        hundred = costs.cycles(CheckStats(shadow_loads=100))
+        assert hundred == pytest.approx(100 * one)
+
+
+class TestCostModel:
+    def test_overhead_ratio(self):
+        model = CostModel()
+        stats = CheckStats(shadow_loads=100)
+        ratio = model.overhead_ratio(300.0, stats)
+        assert ratio == pytest.approx(1 + 100 * model.sanitizer.shadow_load / 300.0)
+
+    def test_ratio_with_no_native_work(self):
+        assert CostModel().overhead_ratio(0.0, CheckStats()) == 1.0
+
+    def test_total_cycles_additive(self):
+        model = CostModel()
+        stats = CheckStats(region_checks=10)
+        assert model.total_cycles(50.0, stats) == pytest.approx(
+            50.0 + 10 * model.sanitizer.region_check
+        )
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_identity(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_matches_paper_style_aggregation(self):
+        ratios = [1.46, 2.12, 1.74]
+        result = geometric_mean(ratios)
+        assert 1.46 < result < 2.12
+
+
+class TestNativeCosts:
+    def test_defaults_sane(self):
+        costs = NativeCosts()
+        assert costs.memory_access > costs.arith
+        assert costs.malloc > costs.call

@@ -1,0 +1,125 @@
+"""Differential testing: random benign programs across every tool.
+
+Hypothesis generates random programs whose accesses are in bounds by
+construction.  Every sanitizer must (a) stay silent — no false positives
+from any encoding, size policy, or optimization pipeline — and (b)
+compute exactly the value Native computes: instrumentation must never
+change program semantics.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import ProgramBuilder, Session, V
+from repro.memory import ArenaLayout
+
+SMALL = ArenaLayout(heap_size=1 << 18, stack_size=1 << 15, globals_size=1 << 13)
+
+ALL_TOOLS = [
+    "Native",
+    "GiantSan",
+    "GiantSan-CacheOnly",
+    "GiantSan-EliminationOnly",
+    "ASan",
+    "ASan--",
+    "LFP",
+    "HWASan",
+]
+
+#: Buffer cell counts available to generated programs (4-byte cells).
+_CELLS = 64
+
+
+@st.composite
+def benign_program(draw):
+    """A random program over two buffers; all accesses in bounds."""
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.malloc("a", _CELLS * 4)
+        f.malloc("bb", _CELLS * 4)
+        f.assign("acc", 0)
+        operations = draw(
+            st.lists(
+                st.sampled_from(
+                    ["store", "load", "loop_store", "loop_load",
+                     "indirect", "memset", "memcpy", "churn", "branch"]
+                ),
+                min_size=1,
+                max_size=8,
+            )
+        )
+        for index, op in enumerate(operations):
+            buf = draw(st.sampled_from(["a", "bb"]))
+            cell = draw(st.integers(min_value=0, max_value=_CELLS - 1))
+            count = draw(st.integers(min_value=1, max_value=_CELLS))
+            unbounded = draw(st.booleans())
+            var = f"i{index}"
+            if op == "store":
+                f.store(buf, cell * 4, 4, cell + index)
+            elif op == "load":
+                f.load("t", buf, cell * 4, 4)
+                f.assign("acc", V("acc") + V("t"))
+            elif op == "loop_store":
+                with f.loop(var, 0, count, bounded=not unbounded) as i:
+                    f.store(buf, i * 4, 4, i)
+            elif op == "loop_load":
+                with f.loop(var, 0, count, bounded=not unbounded) as i:
+                    f.load("t", buf, i * 4, 4)
+                    f.assign("acc", V("acc") + V("t"))
+            elif op == "indirect":
+                # fill the first `count` cells of a with in-bounds indices,
+                # then store through them into bb
+                with f.loop(var, 0, count) as i:
+                    f.store("a", i * 4, 4, (i * 7 + cell) % _CELLS)
+                with f.loop(var + "x", 0, count, bounded=False) as i:
+                    f.load("j", "a", i * 4, 4)
+                    f.store("bb", V("j") * 4, 4, i)
+            elif op == "memset":
+                f.memset(buf, 0, count * 4, index & 0xFF)
+            elif op == "memcpy":
+                f.memcpy("bb", 0, "a", 0, count * 4)
+            elif op == "churn":
+                f.malloc("tmp", 8 * count)
+                f.store("tmp", 0, 8, index)
+                f.load("t", "tmp", 0, 8)
+                f.assign("acc", V("acc") + V("t"))
+                f.free("tmp")
+            elif op == "branch":
+                with f.if_(V("acc").gt(cell)):
+                    f.store(buf, cell * 4, 4, 1)
+                with f.else_():
+                    f.store(buf, cell * 4, 4, 2)
+        f.load("final", "a", 0, 4)
+        f.ret(V("acc") + V("final"))
+    return b.build()
+
+
+class TestDifferential:
+    @given(benign_program())
+    @settings(max_examples=40, deadline=None)
+    def test_no_false_positives_and_identical_results(self, program):
+        expected = None
+        for tool in ALL_TOOLS:
+            result = Session(tool).run(program)
+            assert not result.errors, (
+                f"{tool} false positive: {[str(r) for r in result.errors]}"
+            )
+            if expected is None:
+                expected = result.return_value
+            else:
+                assert result.return_value == expected, tool
+
+    @given(benign_program())
+    @settings(max_examples=20, deadline=None)
+    def test_native_is_cheapest(self, program):
+        native = Session("Native").run(program).total_cycles()
+        for tool in ("GiantSan", "ASan"):
+            assert Session(tool).run(program).total_cycles() >= native
+
+    @given(benign_program())
+    @settings(max_examples=15, deadline=None)
+    def test_instrumentation_is_deterministic(self, program):
+        first = Session("GiantSan").run(program)
+        second = Session("GiantSan").run(program)
+        assert first.return_value == second.return_value
+        assert first.stats.as_dict() == second.stats.as_dict()
+        assert first.native_cycles == second.native_cycles

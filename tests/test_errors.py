@@ -1,0 +1,94 @@
+"""Tests for the error taxonomy and report log."""
+
+import pytest
+
+from repro.errors import (
+    AccessType,
+    ErrorKind,
+    ErrorLog,
+    ErrorReport,
+    SanitizerError,
+)
+
+
+def report(kind=ErrorKind.HEAP_BUFFER_OVERFLOW, address=0x1000):
+    return ErrorReport(kind=kind, address=address, size=4, access=AccessType.READ)
+
+
+class TestErrorKind:
+    def test_spatial_classification(self):
+        assert ErrorKind.HEAP_BUFFER_OVERFLOW.is_spatial
+        assert ErrorKind.STACK_BUFFER_UNDERFLOW.is_spatial
+        assert not ErrorKind.USE_AFTER_FREE.is_spatial
+
+    def test_temporal_classification(self):
+        assert ErrorKind.USE_AFTER_FREE.is_temporal
+        assert ErrorKind.DOUBLE_FREE.is_temporal
+        assert not ErrorKind.HEAP_BUFFER_OVERFLOW.is_temporal
+
+    def test_null_neither(self):
+        assert not ErrorKind.NULL_DEREFERENCE.is_spatial
+        assert not ErrorKind.NULL_DEREFERENCE.is_temporal
+
+
+class TestErrorReport:
+    def test_str_contains_essentials(self):
+        text = str(report())
+        assert "heap-buffer-overflow" in text
+        assert "0x1000" in text
+        assert "read" in text
+
+    def test_detail_rendered(self):
+        r = ErrorReport(
+            kind=ErrorKind.USE_AFTER_FREE,
+            address=8,
+            size=1,
+            access=AccessType.WRITE,
+            detail="in quarantine",
+        )
+        assert "in quarantine" in str(r)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            report().address = 5
+
+
+class TestErrorLog:
+    def test_collects_without_halting(self):
+        log = ErrorLog()
+        log.report(report())
+        log.report(report(kind=ErrorKind.USE_AFTER_FREE))
+        assert len(log) == 2
+        assert bool(log)
+
+    def test_halt_on_error(self):
+        log = ErrorLog(halt_on_error=True)
+        with pytest.raises(SanitizerError):
+            log.report(report())
+        assert len(log) == 1
+
+    def test_kinds_and_count(self):
+        log = ErrorLog()
+        log.report(report())
+        log.report(report())
+        log.report(report(kind=ErrorKind.USE_AFTER_FREE))
+        assert log.count(ErrorKind.HEAP_BUFFER_OVERFLOW) == 2
+        assert log.kinds()[-1] is ErrorKind.USE_AFTER_FREE
+
+    def test_spatial_temporal_views(self):
+        log = ErrorLog()
+        log.report(report())
+        log.report(report(kind=ErrorKind.USE_AFTER_FREE))
+        assert len(log.spatial) == 1
+        assert len(log.temporal) == 1
+
+    def test_clear(self):
+        log = ErrorLog()
+        log.report(report())
+        log.clear()
+        assert not log
+
+    def test_iteration(self):
+        log = ErrorLog()
+        log.report(report())
+        assert [r.kind for r in log] == [ErrorKind.HEAP_BUFFER_OVERFLOW]

@@ -1,0 +1,84 @@
+"""Tests for the CSV/JSON result exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    breakdown_to_rows,
+    cve_to_rows,
+    juliet_to_rows,
+    magma_to_rows,
+    overhead_to_rows,
+    run_figure10_study,
+    run_figure11_study,
+    run_juliet_study,
+    run_linux_flaw_study,
+    run_overhead_study,
+    to_csv,
+    to_json,
+    traversal_to_rows,
+)
+from repro.workloads.juliet import generate_juliet_suite
+from repro.workloads.linux_flaw import TABLE4_SCENARIOS
+from repro.workloads.spec import SPEC_TABLE2_ROWS
+
+
+class TestRowBuilders:
+    def test_overhead_rows(self):
+        study = run_overhead_study(
+            tools=["GiantSan"], programs=SPEC_TABLE2_ROWS[:2], scale=1
+        )
+        rows = overhead_to_rows(study)
+        assert len(rows) == 2
+        assert rows[0]["program"] == "500.perlbench_r"
+        assert rows[0]["GiantSan"] >= 1.0
+
+    def test_juliet_rows(self):
+        cases = generate_juliet_suite(["CWE476"])
+        results = run_juliet_study(tools=["GiantSan"], cases=cases)
+        rows = juliet_to_rows(results)
+        assert rows[0]["cwe"] == "CWE476"
+        assert rows[0]["GiantSan"] == rows[0]["total"]
+
+    def test_cve_rows(self):
+        results = run_linux_flaw_study(
+            tools=["GiantSan"], scenarios=TABLE4_SCENARIOS[:2]
+        )
+        rows = cve_to_rows(results)
+        assert rows[0]["cve"] == "CVE-2017-12858"
+        assert rows[0]["GiantSan"] == 1
+
+    def test_breakdown_rows(self):
+        rows = breakdown_to_rows(run_figure10_study(SPEC_TABLE2_ROWS[:1], scale=1))
+        assert "optimized_fraction" in rows[0]
+        total_fraction = sum(
+            rows[0][f"{c}_fraction"]
+            for c in ("full_check", "fast_only", "cached", "eliminated")
+        )
+        assert total_fraction == pytest.approx(1.0, abs=1e-4)
+
+    def test_traversal_rows(self):
+        study = run_figure11_study(sizes=[1024])
+        rows = traversal_to_rows(study)
+        assert len(rows) == 9  # 3 patterns x 3 tools x 1 size
+        assert {r["tool"] for r in rows} == {"Native", "GiantSan", "ASan"}
+
+
+class TestSerializers:
+    def test_csv_roundtrip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y", "c": 3}]
+        text = to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0]["a"] == "1"
+        assert parsed[1]["c"] == "3"
+        assert parsed[0]["c"] == ""  # missing key filled
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_json_roundtrip(self):
+        rows = [{"a": 1}, {"a": 2}]
+        assert json.loads(to_json(rows)) == rows

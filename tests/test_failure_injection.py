@@ -1,0 +1,151 @@
+"""Failure injection: corrupted metadata and hostile inputs.
+
+A sanitizer's guarantees rest on its metadata invariants; these tests
+deliberately break them and assert the system degrades the way the
+design says it must — checks turn conservative or report, never crash,
+and the oracle exposes disagreements.
+"""
+
+import pytest
+
+from repro.errors import AccessType, AddressSpaceError, ErrorKind
+from repro.memory import ArenaLayout
+from repro.sanitizers import ASan, GiantSan
+from repro.shadow import giantsan_encoding as enc
+from repro.shadow.oracle import giantsan_region_is_addressable
+
+SMALL = ArenaLayout(heap_size=1 << 16, stack_size=1 << 14, globals_size=1 << 13)
+
+
+class TestShadowCorruption:
+    def test_interior_poison_requires_refolding(self):
+        """CI trusts the folding summaries: poisoning an interior
+        segment WITHOUT downgrading the preceding degrees violates the
+        encoding invariant, and the fast check sails over it.  This is
+        the contract a manual sub-object poisoning API would have to
+        honour — refold the prefix, and detection works."""
+        san = GiantSan(layout=SMALL)
+        allocation = san.malloc(256)
+        middle = (allocation.base + 128) >> 3
+        san.shadow.store(middle, enc.HEAP_FREED)
+        # invariant broken: the head degree still claims 256 bytes, so
+        # the fast check accepts — but the oracle sees the poison
+        assert san.check_region(
+            allocation.base, allocation.base + 256, AccessType.READ
+        )
+        ok, fault = giantsan_region_is_addressable(
+            san.shadow, allocation.base, allocation.base + 256
+        )
+        assert not ok and fault == allocation.base + 128
+        # refolding the prefix restores the invariant and detection
+        enc.refold_region(san.shadow, allocation.base, 128)
+        assert not san.check_region(
+            allocation.base, allocation.base + 256, AccessType.READ
+        )
+        san.log.clear()
+        # accesses inside the refolded prefix still pass
+        assert san.check_region(
+            allocation.base, allocation.base + 128, AccessType.READ
+        )
+
+    def test_overclaimed_degree_detected_by_oracle(self):
+        """An attacker (or bug) writing an inflated folding degree makes
+        CI and the oracle disagree — the property suite's invariant."""
+        san = GiantSan(layout=SMALL)
+        victim = san.malloc(16)  # 2 good segments
+        index = victim.base >> 3
+        san.shadow.store(index, enc.encode_folded(8))  # claims 2048 bytes
+        ok_ci = san._ci(victim.base, victim.base + 1024)
+        ok_oracle, _ = giantsan_region_is_addressable(
+            san.shadow, victim.base, victim.base + 1024
+        )
+        assert ok_ci and not ok_oracle  # the corruption is visible
+
+    def test_verify_degrees_flags_corruption(self):
+        from repro.shadow.folding import verify_degrees
+
+        codes = list(enc.object_codes(64))
+        degrees = [enc.decode_degree(c) for c in codes]
+        assert verify_degrees(degrees)
+        degrees[-1] = 5  # inflated tail degree
+        assert not verify_degrees(degrees)
+
+    def test_zeroed_shadow_means_addressable_for_asan(self):
+        """ASan's 0 code is 'good': wiping shadow silently disables
+        detection (why shadow itself must be protected in real ASan)."""
+        san = ASan(layout=SMALL)
+        allocation = san.malloc(32)
+        first = allocation.chunk_base >> 3
+        san.shadow.fill(first, allocation.chunk_size >> 3, 0)
+        assert san.check_access(allocation.base + 40, 4, AccessType.READ)
+
+
+class TestHostileInputs:
+    def test_checks_survive_extreme_addresses(self):
+        san = GiantSan(layout=SMALL)
+        for address in (-(1 << 62), -1, 1 << 62):
+            assert not san.check_region(
+                address, address + 8, AccessType.READ
+            )
+        assert all(
+            r.kind in (ErrorKind.WILD_ACCESS, ErrorKind.UNKNOWN)
+            for r in san.log.reports
+        )
+
+    def test_inverted_region_is_trivially_safe(self):
+        san = GiantSan(layout=SMALL)
+        assert san.check_region(1000, 100, AccessType.READ)
+
+    def test_interpreter_survives_wild_store(self):
+        """A failed check is reported and the faulting access is absorbed
+        (a real run would segfault; the simulator must not)."""
+        from repro import ProgramBuilder, Session
+
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 16)
+            f.store("p", 1 << 40, 8, 1)
+        result = Session("GiantSan").run(b.build())
+        assert result.errors
+        assert result.instructions_executed > 0
+
+    def test_address_space_rejects_out_of_arena(self):
+        from repro.memory import AddressSpace
+
+        space = AddressSpace(SMALL)
+        with pytest.raises(AddressSpaceError):
+            space.store(SMALL.total_size + 10, 8, 1)
+
+    def test_free_of_stack_address_reported(self):
+        from repro import ProgramBuilder, Session
+
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.stack_alloc("buf", 32)
+            f.free("buf")
+        result = Session("GiantSan").run(b.build())
+        assert ErrorKind.INVALID_FREE in result.errors.kinds()
+
+    def test_zero_length_intrinsics_harmless(self):
+        from repro import ProgramBuilder, Session
+
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 16)
+            f.memset("p", 0, 0)
+            f.memcpy("p", 0, "p", 8, 0)
+            f.free("p")
+        for tool in ("GiantSan", "ASan", "HWASan"):
+            assert not Session(tool).run(b.build()).errors, tool
+
+
+class TestHaltOnError:
+    def test_halting_sanitizer_stops_at_first_report(self):
+        from repro.errors import SanitizerError
+
+        san = GiantSan(layout=SMALL, halt_on_error=True)
+        allocation = san.malloc(16)
+        with pytest.raises(SanitizerError) as excinfo:
+            san.check_access(allocation.base + 16, 4, AccessType.READ)
+        assert excinfo.value.report.kind is ErrorKind.HEAP_BUFFER_OVERFLOW
+        assert len(san.log) == 1

@@ -1,0 +1,115 @@
+"""Tests for the binary segment-folding math (paper §4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.shadow.folding import (
+    MAX_DEGREE,
+    degree_for_remaining,
+    floor_log2,
+    fold_degrees,
+    run_lengths,
+    verify_degrees,
+)
+
+
+class TestFloorLog2:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1, 0), (2, 1), (3, 1), (4, 2), (7, 2), (8, 3), (1023, 9), (1024, 10)],
+    )
+    def test_values(self, value, expected):
+        assert floor_log2(value) == expected
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            floor_log2(0)
+        with pytest.raises(ValueError):
+            floor_log2(-4)
+
+
+class TestFoldDegrees:
+    def test_figure5_pattern(self):
+        # 68-byte object: 8 good segments fold as (3)(2)(2)(2)(2)(1)(1)(0)
+        assert fold_degrees(8) == [3, 2, 2, 2, 2, 1, 1, 0]
+
+    def test_single_segment(self):
+        assert fold_degrees(1) == [0]
+
+    def test_two_segments(self):
+        assert fold_degrees(2) == [1, 0]
+
+    def test_empty(self):
+        assert fold_degrees(0) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fold_degrees(-1)
+
+    def test_power_of_two_counts(self):
+        # counting from the object's end: one (0), two (1), four (2), ...
+        degrees = fold_degrees(16)
+        tail = degrees[::-1]
+        assert tail[0] == 0
+        assert tail[1:3] == [1, 1]
+        assert tail[3:7] == [2, 2, 2, 2]
+        assert tail[7:15] == [3] * 8
+        assert degrees[0] == 4
+
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_length_matches(self, good):
+        assert len(fold_degrees(good)) == good
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_folding_invariant(self, good):
+        """Degree d at position j guarantees 2^d good segments remain."""
+        assert verify_degrees(fold_degrees(good))
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_degrees_non_increasing(self, good):
+        degrees = fold_degrees(good)
+        assert all(a >= b for a, b in zip(degrees, degrees[1:]))
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_first_degree_is_floor_log(self, good):
+        assert fold_degrees(good)[0] == min(floor_log2(good), MAX_DEGREE)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_degree_formula_positionwise(self, good):
+        """degree(j) == floor(log2(remaining))."""
+        degrees = fold_degrees(good)
+        for j, degree in enumerate(degrees):
+            assert degree == min(floor_log2(good - j), MAX_DEGREE)
+
+
+class TestRunLengths:
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_matches_fold_degrees(self, good):
+        expanded = []
+        for degree, run in run_lengths(good):
+            expanded.extend([degree] * run)
+        assert expanded == fold_degrees(good)
+
+    def test_runs_compact(self):
+        runs = run_lengths(8)
+        assert runs == [(3, 1), (2, 4), (1, 2), (0, 1)]
+
+
+class TestVerifyDegrees:
+    def test_accepts_valid(self):
+        assert verify_degrees([1, 0])
+
+    def test_rejects_overclaim(self):
+        assert not verify_degrees([2, 0])  # degree 2 needs 4 segments
+
+    def test_empty_is_valid(self):
+        assert verify_degrees([])
+
+
+class TestDegreeForRemaining:
+    def test_caps_at_max_degree(self):
+        assert degree_for_remaining(1 << 63) == MAX_DEGREE
+
+    @given(st.integers(min_value=1, max_value=1 << 20))
+    def test_never_overclaims(self, remaining):
+        assert (1 << degree_for_remaining(remaining)) <= remaining

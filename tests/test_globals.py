@@ -1,0 +1,135 @@
+"""Tests for global-variable support (allocator, shadow, detection)."""
+
+import pytest
+
+from repro import ProgramBuilder, Session, V
+from repro.errors import AccessType, AllocationError, ErrorKind
+from repro.memory import AddressSpace, ArenaLayout, GlobalAllocator
+from repro.sanitizers import ASan, GiantSan
+
+SMALL = ArenaLayout(heap_size=1 << 16, stack_size=1 << 14, globals_size=1 << 13)
+
+
+class TestGlobalAllocator:
+    def test_defines_aligned_disjoint_globals(self, space):
+        allocator = GlobalAllocator(space, redzone=16)
+        a = allocator.define("a", 100)
+        b = allocator.define("b", 50)
+        assert a.base % 8 == 0
+        assert b.base >= a.end + 8  # redzone gap
+        assert space.arena_of(a.base) == "globals"
+
+    def test_rejects_bad_size(self, space):
+        allocator = GlobalAllocator(space, redzone=16)
+        with pytest.raises(AllocationError):
+            allocator.define("z", 0)
+
+    def test_exhaustion(self, space):
+        allocator = GlobalAllocator(space, redzone=0)
+        with pytest.raises(AllocationError):
+            allocator.define("big", space.layout.globals_size + 64)
+
+    def test_variables_listed(self, space):
+        allocator = GlobalAllocator(space)
+        allocator.define("x", 8)
+        allocator.define("y", 8)
+        assert [v.name for v in allocator.variables] == ["x", "y"]
+
+
+class TestSanitizerGlobals:
+    @pytest.fixture(params=[ASan, GiantSan], ids=["asan", "giantsan"])
+    def san(self, request):
+        return request.param(layout=SMALL)
+
+    def test_global_region_addressable(self, san):
+        variable = san.define_global("g", 100)
+        assert san.check_region(
+            variable.base, variable.end, AccessType.WRITE
+        )
+        assert not san.log
+
+    def test_global_overflow_detected(self, san):
+        variable = san.define_global("g", 100)
+        assert not san.check_region(
+            variable.base, variable.end + 1, AccessType.WRITE
+        )
+        assert san.log.kinds() == [ErrorKind.GLOBAL_BUFFER_OVERFLOW]
+
+    def test_global_underflow_detected(self, san):
+        variable = san.define_global("g", 64)
+        assert not san.check_access(variable.base - 1, 1, AccessType.READ)
+        assert san.log.kinds() == [ErrorKind.GLOBAL_BUFFER_OVERFLOW]
+
+    def test_unallocated_globals_arena_poisoned(self, san):
+        probe = san.layout.globals_base + 512
+        assert not san.check_access(probe, 8, AccessType.READ)
+
+
+class TestGlobalsInPrograms:
+    def test_program_uses_global(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.global_alloc("table", 256)
+            with f.loop("i", 0, 32) as i:
+                f.store("table", i * 8, 8, i)
+            f.load("x", "table", 128, 8)
+            f.ret(V("x"))
+        result = Session("GiantSan").run(b.build())
+        assert not result.errors
+        assert result.return_value == 16
+
+    def test_global_overflow_in_program(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.global_alloc("table", 256)
+            f.store("table", 256, 8, 1)
+        for tool in ("GiantSan", "ASan", "ASan--"):
+            result = Session(tool).run(b.build())
+            assert result.errors.kinds() == [
+                ErrorKind.GLOBAL_BUFFER_OVERFLOW
+            ], tool
+
+    def test_lfp_leaves_globals_unprotected(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.global_alloc("table", 256)
+            f.store("table", 256, 8, 1)
+        result = Session("LFP").run(b.build())
+        assert not result.errors
+
+    def test_safe_access_elimination_proves_globals(self):
+        from repro.ir import CheckAccess, CheckRegion, walk
+        from repro.passes import instrument
+        from repro.sanitizers import ASanMinusMinus
+
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.global_alloc("table", 256)
+            f.load("x", "table", 248, 8)
+        ip = instrument(b.build(), tool=ASanMinusMinus())
+        checks = [
+            i
+            for fn in ip.program.functions.values()
+            for i in walk(fn.body)
+            if isinstance(i, (CheckAccess, CheckRegion))
+        ]
+        assert not checks  # provably in bounds
+
+    def test_global_provenance_distinct_from_heap(self):
+        from repro.passes.alias import ProvenanceMap
+
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.global_alloc("g", 64)
+            f.malloc("h", 64)
+        pmap = ProvenanceMap(b.build().function("main"))
+        assert pmap.provenance("g").root.startswith("global:")
+        assert not pmap.same_object("g", "h")
+
+    def test_printer_renders_global(self):
+        from repro.ir import format_program
+
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.global_alloc("g", 64)
+        assert "g = global(64)" in format_program(b.build())

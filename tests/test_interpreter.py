@@ -1,0 +1,279 @@
+"""Tests for the IR interpreter running under sanitizers."""
+
+import pytest
+
+from repro.errors import ErrorKind
+from repro.ir import ProgramBuilder, V
+from repro.memory import ArenaLayout
+from repro.passes import instrument
+from repro.runtime import Interpreter, Session
+from repro.runtime.interpreter import BudgetExceeded
+from repro.sanitizers import ASan, GiantSan, NativeSanitizer
+
+SMALL = ArenaLayout(heap_size=1 << 18, stack_size=1 << 16, globals_size=1 << 14)
+
+
+def run(program, tool=None, args=None, **kwargs):
+    san = tool or NativeSanitizer(layout=SMALL)
+    interp = Interpreter(san, **kwargs)
+    return interp.run(instrument(program, tool=san), args)
+
+
+class TestBasicExecution:
+    def test_arithmetic_and_return(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.assign("x", 6)
+            f.assign("y", V("x") * 7)
+            f.ret(V("y"))
+        assert run(b.build()).return_value == 42
+
+    def test_memory_roundtrip(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.store("p", 16, 8, 0xDEAD)
+            f.load("x", "p", 16, 8)
+            f.ret(V("x"))
+        assert run(b.build()).return_value == 0xDEAD
+
+    def test_loop_accumulation(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.assign("sum", 0)
+            with f.loop("i", 0, 10) as i:
+                f.assign("sum", V("sum") + i)
+            f.ret(V("sum"))
+        assert run(b.build()).return_value == 45
+
+    def test_reverse_loop(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 80)
+            f.assign("first", -1)
+            with f.loop("i", 0, 10, reverse=True) as i:
+                with f.if_(V("first").eq(-1)):
+                    f.assign("first", i)
+            f.ret(V("first"))
+        assert run(b.build()).return_value == 9
+
+    def test_loop_with_step(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.assign("count", 0)
+            with f.loop("i", 0, 10, step=3):
+                f.assign("count", V("count") + 1)
+            f.ret(V("count"))
+        assert run(b.build()).return_value == 4
+
+    def test_if_else(self):
+        b = ProgramBuilder()
+        with b.function("main", params=["n"]) as f:
+            with f.if_(V("n").gt(5)):
+                f.ret(1)
+            with f.else_():
+                f.ret(0)
+        assert run(b.build(), args=[10]).return_value == 1
+        assert run(b.build(), args=[3]).return_value == 0
+
+    def test_function_call_with_args(self):
+        b = ProgramBuilder()
+        with b.function("add", params=["a", "b"]) as f:
+            f.ret(V("a") + V("b"))
+        with b.function("main") as m:
+            m.call("add", [2, 3], dst="r")
+            m.ret(V("r"))
+        assert run(b.build()).return_value == 5
+
+    def test_wrong_arg_count(self):
+        b = ProgramBuilder()
+        with b.function("f", params=["a"]) as f:
+            f.ret(V("a"))
+        with b.function("main") as m:
+            m.call("f", [])
+        with pytest.raises(TypeError):
+            run(b.build(entry="main"))
+
+    def test_undefined_variable(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.ret(V("ghost"))
+        with pytest.raises(NameError):
+            run(b.build())
+
+    def test_instruction_budget(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            with f.loop("i", 0, 10_000):
+                f.assign("x", 1)
+        with pytest.raises(BudgetExceeded):
+            run(b.build(), max_instructions=100)
+
+
+class TestStackExecution:
+    def test_stack_buffer_usable(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.stack_alloc("buf", 64)
+            f.store("buf", 0, 8, 77)
+            f.load("x", "buf", 0, 8)
+            f.ret(V("x"))
+        assert run(b.build()).return_value == 77
+
+    def test_frame_popped_on_return(self):
+        b = ProgramBuilder()
+        with b.function("leaf") as f:
+            f.stack_alloc("tmp", 32)
+            f.store("tmp", 0, 8, 1)
+        with b.function("main") as m:
+            m.call("leaf")
+            m.call("leaf")
+        san = GiantSan(layout=SMALL)
+        run(b.build(), tool=san)
+        assert san.stack.depth == 0
+        assert not san.log
+
+
+class TestIntrinsicsExecution:
+    def test_memset_fills(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.memset("p", 0, 64, 0xAB)
+            f.load("x", "p", 32, 1)
+            f.ret(V("x"))
+        assert run(b.build()).return_value == 0xAB
+
+    def test_memcpy_copies(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("src", 64)
+            f.malloc("dst", 64)
+            f.store("src", 8, 8, 1234)
+            f.memcpy("dst", 0, "src", 0, 64)
+            f.load("x", "dst", 8, 8)
+            f.ret(V("x"))
+        assert run(b.build()).return_value == 1234
+
+    def test_strcpy_copies_terminated_string(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("src", 16)
+            f.malloc("dst", 16)
+            f.store("src", 0, 1, ord("h"))
+            f.store("src", 1, 1, ord("i"))
+            f.store("src", 2, 1, 0)
+            f.strcpy("dst", 0, "src", 0)
+            f.load("x", "dst", 1, 1)
+            f.ret(V("x"))
+        assert run(b.build()).return_value == ord("i")
+
+    def test_memset_overflow_detected_by_asan(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 60)
+            f.memset("p", 0, 64)
+        san = ASan(layout=SMALL)
+        result = run(b.build(), tool=san)
+        assert result.errors.kinds() == [ErrorKind.HEAP_BUFFER_OVERFLOW]
+
+    def test_memset_overflow_detected_by_giantsan(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 60)
+            f.memset("p", 0, 64)
+        san = GiantSan(layout=SMALL)
+        result = run(b.build(), tool=san)
+        assert result.errors.kinds() == [ErrorKind.HEAP_BUFFER_OVERFLOW]
+
+
+class TestCycleAccounting:
+    def test_native_cycles_positive_and_deterministic(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 256)
+            with f.loop("i", 0, 32) as i:
+                f.store("p", i * 8, 8, i)
+        first = run(b.build())
+        second = run(b.build())
+        assert first.native_cycles == second.native_cycles > 0
+
+    def test_sanitized_run_costs_more(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 256)
+            with f.loop("i", 0, 32) as i:
+                f.store("p", i * 8, 8, i)
+        native = run(b.build()).total_cycles()
+        asan = run(b.build(), tool=ASan(layout=SMALL)).total_cycles()
+        assert asan > native
+
+    def test_overhead_ratio_of_native_is_one(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.store("p", 0, 8, 1)
+            f.free("p")
+        assert run(b.build()).overhead_ratio() == 1.0
+
+
+class TestBugDetectionEndToEnd:
+    def make_overflow(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 100)
+            with f.loop("i", 0, 26, bounded=False) as i:
+                f.store("p", i * 4, 4, i)
+            f.free("p")
+        return b.build()
+
+    @pytest.mark.parametrize("tool_cls", [ASan, GiantSan])
+    def test_loop_overflow_detected(self, tool_cls):
+        san = tool_cls(layout=SMALL)
+        result = run(self.make_overflow(), tool=san)
+        assert ErrorKind.HEAP_BUFFER_OVERFLOW in result.errors.kinds()
+
+    def test_native_misses_everything(self):
+        result = run(self.make_overflow())
+        assert not result.errors
+
+    def test_use_after_free_detected(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.free("p")
+            f.load("x", "p", 0, 8)
+        san = GiantSan(layout=SMALL)
+        result = run(b.build(), tool=san)
+        assert ErrorKind.USE_AFTER_FREE in result.errors.kinds()
+
+    def test_double_free_detected(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.free("p")
+            f.free("p")
+        san = GiantSan(layout=SMALL)
+        result = run(b.build(), tool=san)
+        assert ErrorKind.DOUBLE_FREE in result.errors.kinds()
+
+
+class TestProtectionClassification:
+    def test_figure10_categories_partition_accesses(self):
+        b = ProgramBuilder()
+        with b.function("main", params=["N"]) as f:
+            f.malloc("idx", 4096)
+            f.malloc("p", 4096)
+            f.load("a", "p", 0, 4)
+            f.load("b", "p", 8, 4)
+            with f.loop("i", 0, V("N")) as i:
+                f.store("idx", i * 4, 4, i)
+            with f.loop("k", 0, V("N"), bounded=False) as k:
+                f.load("j", "idx", k * 4, 4)
+                f.store("p", V("j") * 4, 4, k)
+        san = GiantSan(layout=SMALL)
+        result = run(b.build(), tool=san, args=[64])
+        counts = result.protection_counts
+        assert counts["eliminated"] >= 64 + 1  # promoted loop + merged const
+        assert counts["cached"] == 128  # both unbounded-loop accesses
+        assert counts["fast_only"] >= 1

@@ -1,0 +1,154 @@
+"""Tests for the guardian-wrapped intrinsics."""
+
+import pytest
+
+from repro.errors import AccessType, ErrorKind
+from repro.ir.nodes import Protection
+from repro.memory import ArenaLayout
+from repro.runtime.intrinsics import (
+    guarded_memcpy,
+    guarded_memset,
+    guarded_strcpy,
+)
+from repro.sanitizers import ASan, GiantSan, NativeSanitizer
+
+SMALL = ArenaLayout(heap_size=1 << 17, stack_size=1 << 14, globals_size=1 << 13)
+
+
+@pytest.fixture(params=[ASan, GiantSan], ids=["asan", "giantsan"])
+def san(request):
+    return request.param(layout=SMALL)
+
+
+class TestMemset:
+    def test_fills_and_passes(self, san):
+        allocation = san.malloc(64)
+        guarded_memset(
+            san, Protection.DIRECT, allocation.base, 64, 0xCC, allocation.base
+        )
+        assert san.space.read_bytes(allocation.base, 64) == b"\xcc" * 64
+        assert not san.log
+
+    def test_overflow_reported_but_executed(self, san):
+        """halt_on_error=false: the guardian reports, the op proceeds
+        (the redzone bytes get clobbered like in a real non-halting run)."""
+        allocation = san.malloc(60)
+        guarded_memset(
+            san, Protection.DIRECT, allocation.base, 64, 1, allocation.base
+        )
+        assert san.log.kinds() == [ErrorKind.HEAP_BUFFER_OVERFLOW]
+        assert san.space.load(allocation.base + 60, 1) == 1
+
+    def test_unprotected_skips_check(self, san):
+        allocation = san.malloc(60)
+        guarded_memset(
+            san, Protection.UNPROTECTED, allocation.base, 64, 1,
+            allocation.base,
+        )
+        assert not san.log
+
+    def test_zero_length_noop(self, san):
+        allocation = san.malloc(8)
+        guarded_memset(
+            san, Protection.DIRECT, allocation.base, 0, 9, allocation.base
+        )
+        assert san.space.load(allocation.base, 1) == 0
+
+
+class TestMemcpy:
+    def test_copies(self, san):
+        src = san.malloc(64)
+        dst = san.malloc(64)
+        san.space.write_bytes(src.base, b"x" * 64)
+        guarded_memcpy(
+            san, Protection.DIRECT, dst.base, src.base, 64, dst.base, src.base
+        )
+        assert san.space.read_bytes(dst.base, 64) == b"x" * 64
+        assert not san.log
+
+    def test_source_overread_detected(self, san):
+        src = san.malloc(32)
+        dst = san.malloc(64)
+        guarded_memcpy(
+            san, Protection.DIRECT, dst.base, src.base, 48, dst.base, src.base
+        )
+        assert any(
+            r.access is AccessType.READ for r in san.log.reports
+        )
+
+    def test_destination_overflow_detected(self, san):
+        src = san.malloc(64)
+        dst = san.malloc(32)
+        guarded_memcpy(
+            san, Protection.DIRECT, dst.base, src.base, 48, dst.base, src.base
+        )
+        assert any(
+            r.access is AccessType.WRITE for r in san.log.reports
+        )
+
+
+class TestStrcpy:
+    def test_copies_through_terminator(self, san):
+        src = san.malloc(16)
+        dst = san.malloc(16)
+        san.space.write_bytes(src.base, b"hello\x00")
+        copied = guarded_strcpy(
+            san, Protection.DIRECT, dst.base, src.base, dst.base, src.base
+        )
+        assert copied == 6
+        assert san.space.read_bytes(dst.base, 6) == b"hello\x00"
+        assert not san.log
+
+    def test_unterminated_source_overreads(self, san):
+        """No NUL inside the buffer: the scan runs into the redzone and
+        the guardian reports the overread (classic CWE-126 via strcpy)."""
+        src = san.malloc(16)
+        dst = san.malloc(256)
+        san.space.fill(src.base, 16, 0x41)
+        guarded_strcpy(
+            san, Protection.DIRECT, dst.base, src.base, dst.base, src.base
+        )
+        assert san.log
+
+    def test_destination_too_small(self, san):
+        src = san.malloc(64)
+        dst = san.malloc(8)
+        san.space.fill(src.base, 32, 0x42)
+        san.space.store(src.base + 32, 1, 0)
+        guarded_strcpy(
+            san, Protection.DIRECT, dst.base, src.base, dst.base, src.base
+        )
+        assert any(
+            r.access is AccessType.WRITE for r in san.log.reports
+        )
+
+
+class TestGuardianCosts:
+    def test_asan_guardian_is_linear(self):
+        asan = ASan(layout=SMALL)
+        allocation = asan.malloc(4096)
+        asan.reset_stats()
+        guarded_memset(
+            asan, Protection.DIRECT, allocation.base, 4096, 0,
+            allocation.base,
+        )
+        assert asan.stats.shadow_loads == 512  # 4096 / 8
+
+    def test_giantsan_guardian_is_constant(self):
+        giant = GiantSan(layout=SMALL)
+        allocation = giant.malloc(4096)
+        giant.reset_stats()
+        guarded_memset(
+            giant, Protection.DIRECT, allocation.base, 4096, 0,
+            allocation.base,
+        )
+        assert giant.stats.shadow_loads <= 4
+
+    def test_native_costs_nothing(self):
+        native = NativeSanitizer(layout=SMALL)
+        allocation = native.malloc(4096)
+        guarded_memset(
+            native, Protection.UNPROTECTED, allocation.base, 4096, 0,
+            allocation.base,
+        )
+        assert native.stats.shadow_loads == 0

@@ -1,0 +1,141 @@
+"""Tests for the fluent program builder."""
+
+import pytest
+
+from repro.ir import (
+    Assign,
+    Free,
+    If,
+    Load,
+    Loop,
+    Malloc,
+    Memset,
+    ProgramBuilder,
+    StackAlloc,
+    Store,
+    V,
+)
+
+
+def build_simple():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.malloc("p", 64)
+        with f.loop("i", 0, 8) as i:
+            f.store("p", i * 8, 8, i)
+        f.free("p")
+    return b.build()
+
+
+class TestBuilder:
+    def test_structure(self):
+        program = build_simple()
+        body = program.function("main").body
+        assert isinstance(body[0], Malloc)
+        assert isinstance(body[1], Loop)
+        assert isinstance(body[1].body[0], Store)
+        assert isinstance(body[2], Free)
+
+    def test_loop_yields_var(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            with f.loop("i", 0, 4) as i:
+                assert i == V("i")
+                f.assign("x", i + 1)
+        program = b.build()
+        loop = program.function("main").body[0]
+        assert isinstance(loop.body[0], Assign)
+
+    def test_if_else(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.assign("x", 1)
+            with f.if_(V("x").gt(0)):
+                f.assign("y", 1)
+            with f.else_():
+                f.assign("y", 2)
+        program = b.build()
+        node = program.function("main").body[1]
+        assert isinstance(node, If)
+        assert len(node.then) == 1
+        assert len(node.orelse) == 1
+
+    def test_else_without_if_raises(self):
+        b = ProgramBuilder()
+        with pytest.raises(ValueError):
+            with b.function("main") as f:
+                with f.else_():
+                    pass
+
+    def test_nested_loops(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 1024)
+            with f.loop("i", 0, 4):
+                with f.loop("j", 0, 4) as j:
+                    f.load("t", "p", V("i") * 32 + j * 8, 8)
+        program = b.build()
+        outer = program.function("main").body[1]
+        assert isinstance(outer.body[0], Loop)
+        assert isinstance(outer.body[0].body[0], Load)
+
+    def test_reverse_and_unbounded_flags(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            with f.loop("i", 0, 8, reverse=True):
+                pass
+            with f.loop("j", 0, 8, bounded=False):
+                pass
+        loops = b.build().function("main").body
+        assert loops[0].reverse and loops[0].bounded
+        assert not loops[1].reverse and not loops[1].bounded
+
+    def test_stack_alloc(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.stack_alloc("buf", 128)
+            f.memset("buf", 0, 128)
+        program = b.build()
+        body = program.function("main").body
+        assert isinstance(body[0], StackAlloc)
+        assert isinstance(body[1], Memset)
+        assert program.function("main").stack_buffers()[0].size == 128
+
+    def test_unknown_call_target_rejected(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.call("missing")
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_missing_entry_rejected(self):
+        b = ProgramBuilder()
+        with b.function("helper"):
+            pass
+        with pytest.raises(ValueError):
+            b.build(entry="main")
+
+    def test_bad_width_rejected(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 8)
+            f.load("x", "p", 0, width=3)
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_duplicate_function_rejected(self):
+        b = ProgramBuilder()
+        with b.function("main"):
+            pass
+        with pytest.raises(ValueError):
+            with b.function("main"):
+                pass
+
+    def test_params(self):
+        b = ProgramBuilder()
+        with b.function("f", params=["a", "b"]) as f:
+            f.ret(V("a") + V("b"))
+        with b.function("main") as m:
+            m.call("f", [1, 2], dst="r")
+        program = b.build()
+        assert program.function("f").params == ["a", "b"]

@@ -1,0 +1,50 @@
+"""Tests for IR expression nodes and operator overloading."""
+
+import pytest
+
+from repro.ir import BinOp, C, Const, V, Var, as_expr
+
+
+class TestExprConstruction:
+    def test_shorthands(self):
+        assert V("x") == Var("x")
+        assert C(5) == Const(5)
+
+    def test_as_expr_coercion(self):
+        assert as_expr(7) == Const(7)
+        assert as_expr(V("i")) == Var("i")
+
+    def test_operator_overloading(self):
+        expr = V("i") * 4 + 8
+        assert isinstance(expr, BinOp)
+        assert expr.op == "+"
+        assert expr.left == BinOp("*", Var("i"), Const(4))
+        assert expr.right == Const(8)
+
+    def test_reflected_operators(self):
+        expr = 4 * V("i")
+        assert expr == BinOp("*", Const(4), Var("i"))
+        assert (8 + V("j")) == BinOp("+", Const(8), Var("j"))
+        assert (8 - V("j")) == BinOp("-", Const(8), Var("j"))
+
+    def test_negation(self):
+        expr = -V("i")
+        assert expr == BinOp("-", Const(0), Var("i"))
+
+    def test_comparison_builders(self):
+        assert V("i").lt(10) == BinOp("<", Var("i"), Const(10))
+        assert V("i").ge(V("j")) == BinOp(">=", Var("i"), Var("j"))
+        assert V("i").eq(0) == BinOp("==", Var("i"), Const(0))
+        assert V("i").ne(0) == BinOp("!=", Var("i"), Const(0))
+
+    def test_shift_and_mask(self):
+        assert (V("i") << 3) == BinOp("<<", Var("i"), Const(3))
+        assert (V("i") & 7) == BinOp("&", Var("i"), Const(7))
+
+    def test_exprs_hashable_and_equal(self):
+        assert hash(V("i") * 4) == hash(V("i") * 4)
+        assert (V("i") * 4) == (V("i") * 4)
+        assert (V("i") * 4) != (V("j") * 4)
+
+    def test_repr_readable(self):
+        assert repr(V("i") * 4 + 8) == "((i * 4) + 8)"

@@ -1,0 +1,95 @@
+"""Tests for the IR printer (used by examples and debugging)."""
+
+from repro.errors import AccessType
+from repro.ir import (
+    CacheFinalize,
+    CheckAccess,
+    CheckCached,
+    CheckRegion,
+    Const,
+    ProgramBuilder,
+    V,
+    format_function,
+    format_program,
+)
+from repro.ir.nodes import Compute
+
+
+def build_everything():
+    b = ProgramBuilder()
+    with b.function("callee", params=["q"]) as c:
+        c.ret(V("q"))
+    with b.function("main") as f:
+        f.malloc("p", 64)
+        f.stack_alloc("buf", 32)
+        f.assign("x", V("p") + 8)
+        f.ptr_add("q", "p", 16)
+        f.load("v", "p", 0, 8)
+        f.store("p", 8, 4, V("v"))
+        f.memset("p", 0, 64, 7)
+        f.memcpy("buf", 0, "p", 0, 32)
+        f.strcpy("buf", 0, "p", 0)
+        f.compute(3.5)
+        with f.loop("i", 0, 8) as i:
+            with f.if_(i.gt(4)):
+                f.assign("y", 1)
+            with f.else_():
+                f.assign("y", 2)
+        with f.loop("j", 0, 8, reverse=True, bounded=False):
+            f.assign("z", 0)
+        f.call("callee", [V("p")], dst="r")
+        f.free("p")
+        f.ret(V("r"))
+    return b.build()
+
+
+class TestPrinter:
+    def test_all_constructs_render(self):
+        text = format_program(build_everything())
+        for token in (
+            "def main():",
+            "p = malloc(64)",
+            "buf = alloca(32)",
+            "q = p + 16",
+            "v = load8 p[0]",
+            "store4 p[8] = v",
+            "memset(p + 0, 7, 64)",
+            "memcpy(buf + 0, p + 0, 32)",
+            "strcpy(buf + 0, p + 0)",
+            "compute(3.5)",
+            "for i = 0 to 8 step 1:",
+            "if (i > 4):",
+            "else:",
+            "down to",
+            "# unbounded",
+            "r = call callee(p)",
+            "free(p)",
+            "return r",
+        ):
+            assert token in text, token
+
+    def test_check_instructions_render(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+        program = b.build()
+        body = program.function("main").body
+        body.append(CheckAccess("p", Const(0), 8, AccessType.READ))
+        body.append(
+            CheckRegion("p", Const(0), Const(64), AccessType.WRITE, True)
+        )
+        body.append(CheckCached(0, "p", Const(0), 8, AccessType.READ))
+        body.append(CacheFinalize(0, "p"))
+        text = format_function(program.function("main"))
+        assert "CHECK p[0 .. 0+8) [read]" in text
+        assert "CI(p + 0, p + 64) [write] anchored" in text
+        assert "CI_cached#0" in text
+        assert "CI(p, p + ub#0)" in text
+
+    def test_indentation_nested(self):
+        text = format_function(build_everything().function("main"))
+        lines = text.splitlines()
+        if_line = next(l for l in lines if "if (i > 4):" in l)
+        assert if_line.startswith("  ")
+        inner = lines[lines.index(if_line) + 1]
+        assert inner.startswith(if_line[: if_line.index("if")] + "  ")

@@ -1,0 +1,96 @@
+"""Tests for Program containers and tree-walking utilities."""
+
+from repro.ir import (
+    Load,
+    Loop,
+    ProgramBuilder,
+    Store,
+    V,
+    assign_site_ids,
+    memory_sites,
+    transform_blocks,
+    walk,
+    walk_with_depth,
+)
+from repro.ir.nodes import Assign, Const
+
+
+def nested_program():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.malloc("p", 1024)
+        with f.loop("i", 0, 4):
+            f.load("x", "p", V("i") * 8, 8)
+            with f.if_(V("x").gt(0)):
+                f.store("p", 0, 8, 1)
+            with f.loop("j", 0, 4):
+                f.store("p", V("j"), 1, 0)
+    return b.build()
+
+
+class TestWalk:
+    def test_walk_visits_all(self):
+        program = nested_program()
+        kinds = [type(i).__name__ for i in walk(program.function("main").body)]
+        assert kinds.count("Load") == 1
+        assert kinds.count("Store") == 2
+        assert kinds.count("Loop") == 2
+        assert kinds.count("If") == 1
+
+    def test_walk_with_depth(self):
+        program = nested_program()
+        depths = {
+            type(i).__name__: d
+            for i, d in walk_with_depth(program.function("main").body)
+        }
+        assert depths["Malloc"] == 0
+        assert depths["Load"] == 1
+        assert depths["Store"] == 2  # the innermost store wins the dict
+
+    def test_memory_sites(self):
+        program = nested_program()
+        sites = memory_sites(program)
+        assert len(sites) == 3
+        assert all(isinstance(s, (Load, Store)) for s in sites)
+
+    def test_assign_site_ids(self):
+        program = nested_program()
+        count = assign_site_ids(program)
+        assert count == 3
+        assert sorted(s.site_id for s in memory_sites(program)) == [0, 1, 2]
+
+
+class TestTransformBlocks:
+    def test_insertion_everywhere(self):
+        program = nested_program()
+
+        def prepend_marker(block):
+            return [Assign("_marker", Const(0))] + block
+
+        function = program.function("main")
+        function.body = transform_blocks(function.body, prepend_marker)
+        # one marker per block: top, loop i, if-then, if-else, loop j
+        markers = [
+            i
+            for i in walk(function.body)
+            if isinstance(i, Assign) and i.dst == "_marker"
+        ]
+        assert len(markers) == 5
+
+    def test_filtering(self):
+        program = nested_program()
+
+        def drop_stores(block):
+            return [i for i in block if not isinstance(i, Store)]
+
+        function = program.function("main")
+        function.body = transform_blocks(function.body, drop_stores)
+        assert not [i for i in walk(function.body) if isinstance(i, Store)]
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        program = nested_program()
+        clone = program.clone()
+        clone.function("main").body.clear()
+        assert program.function("main").body  # original intact

@@ -1,0 +1,134 @@
+"""Tests for the §5.4 reverse-traversal mitigation (quasi-lower-bound)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AccessType, ErrorKind
+from repro.memory import ArenaLayout
+from repro.sanitizers import GiantSan
+
+SMALL = ArenaLayout(heap_size=1 << 17, stack_size=1 << 14, globals_size=1 << 13)
+
+
+def mitigated():
+    return GiantSan(layout=SMALL, enable_lower_bound=True)
+
+
+class TestLocateLowerBound:
+    @pytest.mark.parametrize("size", [8, 24, 68, 100, 1024, 5000])
+    def test_exact_from_any_interior_address(self, size):
+        san = mitigated()
+        allocation = san.malloc(size)
+        for probe in (0, 7, size // 3, size // 2, size - 1):
+            assert (
+                san.locate_lower_bound(allocation.base + probe)
+                == allocation.base
+            ), (size, probe)
+
+    def test_logarithmic_load_count(self):
+        import math
+
+        san = mitigated()
+        allocation = san.malloc(1 << 14)
+        san.reset_stats()
+        san.locate_lower_bound(allocation.base + (1 << 14) - 4)
+        segments = (1 << 14) >> 3
+        bound = (math.ceil(math.log2(segments)) + 1) ** 2
+        assert san.stats.shadow_loads <= bound
+
+    def test_from_poisoned_address_returns_in_place(self):
+        san = mitigated()
+        allocation = san.malloc(64)
+        probe = allocation.base - 8  # left redzone
+        assert san.locate_lower_bound(probe) == probe & ~7
+
+    def test_does_not_cross_into_previous_object(self):
+        san = mitigated()
+        first = san.malloc(256)
+        second = san.malloc(256)
+        lo, hi = sorted([first.base, second.base])
+        assert san.locate_lower_bound(hi + 128) == hi
+
+    @given(st.integers(min_value=1, max_value=3000),
+           st.integers(min_value=0, max_value=2999))
+    @settings(max_examples=100, deadline=None)
+    def test_property_exact(self, size, probe):
+        if probe >= size:
+            probe = size - 1
+        san = mitigated()
+        allocation = san.malloc(size)
+        assert (
+            san.locate_lower_bound(allocation.base + probe) == allocation.base
+        )
+
+
+class TestQuasiLowerBoundCache:
+    def test_reverse_walk_mostly_hits(self):
+        san = mitigated()
+        allocation = san.malloc(4096)
+        cache = san.make_cache()
+        end = allocation.base + 4096
+        san.reset_stats()
+        for i in range(1, 1024):
+            assert san.check_cached(cache, end, -4 * i, 4, AccessType.READ)
+        assert san.stats.cached_hits >= 1000
+        assert san.stats.region_checks <= 4
+
+    def test_underflow_still_detected(self):
+        san = mitigated()
+        allocation = san.malloc(256)
+        cache = san.make_cache()
+        end = allocation.base + 256
+        for i in range(1, 64):
+            san.check_cached(cache, end, -4 * i, 4, AccessType.READ)
+        assert not san.check_cached(cache, end, -260, 4, AccessType.READ)
+        assert ErrorKind.HEAP_BUFFER_UNDERFLOW in san.log.kinds()
+
+    def test_lower_bound_never_overclaims(self):
+        san = mitigated()
+        allocation = san.malloc(100)
+        cache = san.make_cache()
+        end = allocation.base + 96  # aligned interior anchor
+        san.check_cached(cache, end, -8, 8, AccessType.READ)
+        assert end + cache.lb >= allocation.base
+
+    def test_disabled_by_default(self):
+        san = GiantSan(layout=SMALL)
+        allocation = san.malloc(1024)
+        cache = san.make_cache()
+        end = allocation.base + 1024
+        for i in range(1, 16):
+            san.check_cached(cache, end, -4 * i, 4, AccessType.READ)
+        assert san.stats.cached_hits == 0
+        assert cache.lb == 0
+
+    def test_mitigation_removes_reverse_penalty(self):
+        """With the quasi-lower-bound, reverse traversal costs about the
+        same as forward traversal (the §5.4 'second solution')."""
+        from repro.runtime import Interpreter
+        from repro.passes import instrument
+        from repro.workloads.traversals import forward_traversal
+        from repro import ProgramBuilder, V
+
+        size = 4096
+        b = ProgramBuilder()
+        with b.function("walk", params=["y", "n"]) as f:
+            f.ptr_add("p", "y", V("n") * 4)
+            with f.loop("i", 1, V("n") + 1, bounded=False) as i:
+                f.load("t", "p", 0 - i * 4, 4)
+                f.compute(2.0)
+        with b.function("main") as m:
+            m.malloc("buf", size)
+            m.call("walk", [V("buf"), size // 4])
+        reverse_program = b.build()
+
+        plain = GiantSan(layout=SMALL)
+        plain_result = Interpreter(plain).run(
+            instrument(reverse_program, tool=plain)
+        )
+        fixed = mitigated()
+        fixed_result = Interpreter(fixed).run(
+            instrument(reverse_program, tool=fixed)
+        )
+        assert fixed_result.total_cycles() < plain_result.total_cycles() * 0.8
+        assert not fixed_result.errors

@@ -1,0 +1,72 @@
+"""Tests for the memory-overhead accounting."""
+
+from repro.sanitizers import ASan, GiantSan, HWASan, LFP, NativeSanitizer
+
+
+class TestMemoryOverhead:
+    def test_native_holds_nothing(self):
+        san = NativeSanitizer()
+        san.malloc(600)
+        overhead = san.memory_overhead()
+        assert overhead["shadow_bytes"] == 0
+        assert overhead["slack_bytes"] == 0
+        assert overhead["quarantine_bytes"] == 0
+
+    def test_giantsan_matches_asan_exactly(self):
+        """The compatibility claim: the folded encoding fits ASan's
+        shadow budget byte for byte."""
+        giant, asan = GiantSan(), ASan()
+        for size in (7, 64, 600, 4096):
+            giant.malloc(size)
+            asan.malloc(size)
+        g, a = giant.memory_overhead(), asan.memory_overhead()
+        assert g["shadow_bytes"] == a["shadow_bytes"]
+        assert g["redzone_bytes"] == a["redzone_bytes"]
+        assert g["slack_bytes"] == a["slack_bytes"] == 0
+
+    def test_shadow_is_one_eighth_of_address_space(self):
+        san = GiantSan()
+        assert san.memory_overhead()["shadow_bytes"] * 8 == san.layout.total_size
+
+    def test_lfp_trades_shadow_for_slack(self):
+        san = LFP()
+        san.malloc(600)  # rounds to 640
+        overhead = san.memory_overhead()
+        assert overhead["shadow_bytes"] < 100
+        assert overhead["slack_bytes"] == 40
+        assert overhead["redzone_bytes"] <= 8
+
+    def test_hwasan_tag_table_is_half_shadow(self):
+        hw, asan = HWASan(), ASan()
+        assert (
+            hw.memory_overhead()["shadow_bytes"] * 2
+            == asan.memory_overhead()["shadow_bytes"]
+        )
+
+    def test_quarantine_bytes_tracked(self):
+        san = GiantSan()
+        allocation = san.malloc(512)
+        assert san.memory_overhead()["quarantine_bytes"] == 0
+        san.free(allocation.base)
+        assert (
+            san.memory_overhead()["quarantine_bytes"] == allocation.chunk_size
+        )
+
+    def test_redzones_scale_with_setting(self):
+        small = ASan(redzone=16)
+        large = ASan(redzone=512)
+        small.malloc(64)
+        large.malloc(64)
+        assert (
+            large.memory_overhead()["redzone_bytes"]
+            > small.memory_overhead()["redzone_bytes"] * 10
+        )
+
+    def test_freed_objects_leave_live_accounting(self):
+        san = GiantSan()
+        a = san.malloc(100)
+        san.malloc(100)
+        before = san.memory_overhead()["redzone_bytes"]
+        san.free(a.base)
+        after = san.memory_overhead()["redzone_bytes"]
+        assert after < before

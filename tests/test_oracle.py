@@ -1,0 +1,95 @@
+"""Tests for the byte-exact addressability oracle."""
+
+from repro.memory import HeapAllocator
+from repro.shadow import ShadowMemory, asan_encoding, giantsan_encoding
+from repro.shadow.oracle import (
+    asan_region_is_addressable,
+    first_poison_code,
+    giantsan_region_is_addressable,
+)
+
+
+class TestOracleASan:
+    def test_good_region(self, space, shadow):
+        allocator = HeapAllocator(space, redzone=16)
+        allocation = allocator.malloc(64)
+        asan_encoding.poison_allocation(shadow, allocation)
+        ok, fault = asan_region_is_addressable(
+            shadow, allocation.base, allocation.end
+        )
+        assert ok and fault is None
+
+    def test_overflow_fault_address(self, space, shadow):
+        allocator = HeapAllocator(space, redzone=16)
+        allocation = allocator.malloc(12)
+        asan_encoding.poison_allocation(shadow, allocation)
+        ok, fault = asan_region_is_addressable(
+            shadow, allocation.base, allocation.base + 16
+        )
+        assert not ok
+        assert fault == allocation.base + 12  # first byte past the 4-prefix
+
+    def test_empty_region_ok(self, shadow):
+        ok, fault = asan_region_is_addressable(shadow, 100, 100)
+        assert ok and fault is None
+
+    def test_unaligned_start_in_poison(self, space, shadow):
+        allocator = HeapAllocator(space, redzone=16)
+        allocation = allocator.malloc(12)
+        asan_encoding.poison_allocation(shadow, allocation)
+        ok, fault = asan_region_is_addressable(
+            shadow, allocation.base + 13, allocation.base + 14
+        )
+        assert not ok
+        assert fault == allocation.base + 13
+
+
+class TestOracleGiantSan:
+    def test_agreement_between_encodings(self, space):
+        """Both encodings encode the same addressability facts."""
+        asan_shadow = ShadowMemory(space.layout.total_size)
+        giant_shadow = ShadowMemory(space.layout.total_size)
+        allocator = HeapAllocator(space, redzone=16)
+        allocations = [allocator.malloc(size) for size in (5, 64, 100, 13)]
+        freed = allocations[2]
+        allocator.free(freed.base)
+        for allocation in allocations:
+            asan_encoding.poison_allocation(asan_shadow, allocation)
+            giantsan_encoding.poison_allocation(giant_shadow, allocation)
+        asan_encoding.poison_freed(asan_shadow, freed)
+        giantsan_encoding.poison_freed(giant_shadow, freed)
+        lo = allocations[0].chunk_base
+        hi = allocations[-1].chunk_end
+        for start in range(lo, hi, 3):
+            for length in (1, 4, 8, 32, 100):
+                a = asan_region_is_addressable(asan_shadow, start, start + length)
+                g = giantsan_region_is_addressable(
+                    giant_shadow, start, start + length
+                )
+                assert a == g, f"encodings disagree at [{start},{start+length})"
+
+    def test_first_poison_code(self, space, shadow):
+        allocator = HeapAllocator(space, redzone=16)
+        allocation = allocator.malloc(16)
+        giantsan_encoding.poison_allocation(shadow, allocation)
+        code = first_poison_code(
+            shadow,
+            allocation.base,
+            allocation.base + 32,
+            giantsan_encoding.addressable_prefix,
+        )
+        assert code == giantsan_encoding.HEAP_RIGHT_REDZONE
+
+    def test_first_poison_code_none_when_safe(self, space, shadow):
+        allocator = HeapAllocator(space, redzone=16)
+        allocation = allocator.malloc(16)
+        giantsan_encoding.poison_allocation(shadow, allocation)
+        assert (
+            first_poison_code(
+                shadow,
+                allocation.base,
+                allocation.base + 16,
+                giantsan_encoding.addressable_prefix,
+            )
+            is None
+        )

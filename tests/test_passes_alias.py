@@ -1,0 +1,107 @@
+"""Tests for provenance and must-alias analysis."""
+
+from repro.ir import ProgramBuilder, V
+from repro.ir.nodes import Const
+from repro.passes.alias import ProvenanceMap
+
+
+class TestProvenance:
+    def test_malloc_roots_distinct(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.malloc("q", 64)
+        pmap = ProvenanceMap(b.build().function("main"))
+        assert pmap.provenance("p").root != pmap.provenance("q").root
+
+    def test_param_provenance(self):
+        b = ProgramBuilder()
+        with b.function("f", params=["p"]) as f:
+            f.load("x", "p", 0, 8)
+        pmap = ProvenanceMap(b.build(entry="f").function("f"))
+        assert pmap.provenance("p").root == "param:p"
+
+    def test_ptr_add_shifts_offset(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.ptr_add("q", "p", 16)
+        pmap = ProvenanceMap(b.build().function("main"))
+        p, q = pmap.provenance("p"), pmap.provenance("q")
+        assert p.root == q.root
+        assert q.offset == Const(16)
+
+    def test_assignment_copies_provenance(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.assign("alias", V("p"))
+        pmap = ProvenanceMap(b.build().function("main"))
+        assert pmap.same_object("p", "alias")
+
+    def test_load_clears_provenance(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.load("p", "p", 0, 8)  # p now holds arbitrary data
+        pmap = ProvenanceMap(b.build().function("main"))
+        assert pmap.provenance("p") is None
+
+    def test_conflicting_reassignment_poisons(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.malloc("q", 64)
+            f.assign("r", V("p"))
+            f.assign("r", V("q"))
+        pmap = ProvenanceMap(b.build().function("main"))
+        assert pmap.provenance("r") is None
+
+    def test_stack_alloc_root(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.stack_alloc("buf", 64)
+        pmap = ProvenanceMap(b.build().function("main"))
+        assert pmap.provenance("buf").root.startswith("stack:")
+
+
+class TestMustAlias:
+    def test_same_base_same_offset(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+        pmap = ProvenanceMap(b.build().function("main"))
+        assert pmap.must_alias("p", Const(8), "p", Const(8))
+        assert not pmap.must_alias("p", Const(8), "p", Const(16))
+
+    def test_derived_pointer_aliases(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.ptr_add("q", "p", 8)
+        pmap = ProvenanceMap(b.build().function("main"))
+        # q[0] is p[8]
+        assert pmap.must_alias("q", Const(0), "p", Const(8))
+
+    def test_different_objects_never_alias(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.malloc("q", 64)
+        pmap = ProvenanceMap(b.build().function("main"))
+        assert not pmap.must_alias("p", Const(0), "q", Const(0))
+
+    def test_symbolic_equal_offsets(self):
+        b = ProgramBuilder()
+        with b.function("main", params=["n"]) as f:
+            f.malloc("p", 64)
+        pmap = ProvenanceMap(b.build().function("main"))
+        assert pmap.must_alias("p", V("n") * 4, "p", V("n") * 4)
+
+    def test_unknown_provenance_never_aliases(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.load("q", "p", 0, 8)
+        pmap = ProvenanceMap(b.build().function("main"))
+        assert not pmap.must_alias("q", Const(0), "q", Const(0))

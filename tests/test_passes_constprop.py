@@ -1,0 +1,125 @@
+"""Tests for constant propagation and folding."""
+
+from repro.ir import ProgramBuilder, V
+from repro.ir.nodes import Assign, BinOp, Const, Load, Store, Var
+from repro.passes.base import PassStats
+from repro.passes.constprop import (
+    ConstantPropagation,
+    assigned_vars,
+    eval_const,
+    fold,
+)
+
+
+class TestFold:
+    def test_constant_arithmetic(self):
+        assert fold(Const(4) * 3 + 2) == Const(14)
+
+    def test_env_substitution(self):
+        assert fold(V("n") * 8, {"n": 4}) == Const(32)
+
+    def test_identities(self):
+        assert fold(V("i") + 0) == Var("i")
+        assert fold(0 + V("i")) == Var("i")
+        assert fold(V("i") * 1) == Var("i")
+        assert fold(V("i") - 0) == Var("i")
+
+    def test_partial_fold(self):
+        expr = fold((V("i") + Const(2) * 3))
+        assert expr == BinOp("+", Var("i"), Const(6))
+
+    def test_comparisons(self):
+        assert fold(Const(3).lt(5)) == Const(1)
+        assert fold(Const(5).lt(3)) == Const(0)
+
+    def test_division_by_zero_yields_zero(self):
+        assert fold(Const(5) // 0) == Const(0)
+        assert fold(Const(5) % 0) == Const(0)
+
+    def test_eval_const(self):
+        assert eval_const(Const(2) + 3) == 5
+        assert eval_const(V("i") + 3) is None
+
+
+class TestAssignedVars:
+    def test_collects_all_definitions(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.assign("x", 1)
+            with f.loop("i", 0, 4):
+                f.load("y", "p", 0, 8)
+        names = assigned_vars(b.build().function("main").body)
+        assert names >= {"p", "x", "i", "y"}
+
+
+class TestPropagationPass:
+    def run(self, program):
+        ConstantPropagation().run(program, PassStats())
+        return program
+
+    def test_straight_line_propagation(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.assign("k", 5)
+            f.load("x", "p", V("k") * 8, 8)
+        program = self.run(b.build())
+        load = program.function("main").body[2]
+        assert load.offset == Const(40)
+
+    def test_loop_var_not_propagated(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            with f.loop("i", 0, 4) as i:
+                f.load("x", "p", i * 8, 8)
+        program = self.run(b.build())
+        load = program.function("main").body[1].body[0]
+        assert not isinstance(load.offset, Const)
+
+    def test_kill_on_reassignment_in_branch(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.assign("k", 0)
+            with f.if_(V("z").gt(0)):
+                f.assign("k", 8)
+            f.load("x", "p", V("k"), 8)
+        program = self.run(b.build())
+        load = program.function("main").body[3]
+        assert load.offset == Var("k")  # k is no longer a known constant
+
+    def test_constant_survives_unrelated_branch(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.assign("k", 16)
+            with f.if_(V("z").gt(0)):
+                f.assign("other", 1)
+            f.load("x", "p", V("k"), 8)
+        program = self.run(b.build())
+        load = program.function("main").body[3]
+        assert load.offset == Const(16)
+
+    def test_load_kills_constant(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.assign("k", 1)
+            f.load("k", "p", 0, 8)
+            f.store("p", V("k"), 8, 0)
+        program = self.run(b.build())
+        store = program.function("main").body[3]
+        assert store.offset == Var("k")
+
+    def test_propagates_into_loop_for_invariants(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 256)
+            f.assign("stride", 8)
+            with f.loop("i", 0, 4) as i:
+                f.store("p", i * V("stride"), 8, 0)
+        program = self.run(b.build())
+        store = program.function("main").body[2].body[0]
+        assert store.offset == BinOp("*", Var("i"), Const(8))

@@ -1,0 +1,122 @@
+"""Tests for the SCEV-style affine analysis."""
+
+from repro.ir import ProgramBuilder, V
+from repro.ir.nodes import Const, Loop, Var
+from repro.passes.loop_bounds import (
+    affine_of,
+    loop_killed_vars,
+    offset_bounds,
+    trip_range,
+)
+
+
+class TestAffineOf:
+    def test_var_itself(self):
+        result = affine_of(V("i"), "i", {"i"})
+        assert result.coefficient == 1
+        assert result.offset == Const(0)
+
+    def test_scaled(self):
+        result = affine_of(V("i") * 4, "i", {"i"})
+        assert result.coefficient == 4
+
+    def test_scaled_left(self):
+        result = affine_of(4 * V("i"), "i", {"i"})
+        assert result.coefficient == 4
+
+    def test_shifted(self):
+        result = affine_of(V("i") * 4 + 16, "i", {"i"})
+        assert result.coefficient == 4
+        assert result.offset == Const(16)
+
+    def test_shift_operator(self):
+        result = affine_of(V("i") << 3, "i", {"i"})
+        assert result.coefficient == 8
+
+    def test_symbolic_invariant_offset(self):
+        result = affine_of(V("i") * 8 + V("base_off"), "i", {"i"})
+        assert result.coefficient == 8
+        assert result.offset == Var("base_off")
+
+    def test_negative_coefficient(self):
+        result = affine_of(Const(100) - V("i") * 4, "i", {"i"})
+        assert result.coefficient == -4
+        assert result.offset == Const(100)
+
+    def test_killed_var_defeats(self):
+        assert affine_of(V("i") * V("j"), "i", {"i", "j"}) is None
+
+    def test_nonlinear_defeats(self):
+        assert affine_of(V("i") * V("i"), "i", {"i"}) is None
+
+    def test_invariant_only(self):
+        result = affine_of(V("n") * 8, "i", {"i"})
+        assert result.coefficient == 0
+
+
+class TestTripRange:
+    def make_loop(self, **kwargs):
+        defaults = dict(var="i", start=Const(0), end=Const(10), body=[], step=1)
+        defaults.update(kwargs)
+        return Loop(**defaults)
+
+    def test_constant_range(self):
+        trips = trip_range(self.make_loop(), {"i"})
+        assert trips.first == Const(0)
+        assert trips.last == Const(9)
+
+    def test_symbolic_end(self):
+        trips = trip_range(self.make_loop(end=V("N")), {"i"})
+        assert trips.last == (V("N") - 1)
+
+    def test_unbounded_rejected(self):
+        assert trip_range(self.make_loop(bounded=False), {"i"}) is None
+
+    def test_non_unit_step_rejected(self):
+        assert trip_range(self.make_loop(step=2), {"i"}) is None
+
+    def test_end_killed_in_body_rejected(self):
+        assert trip_range(self.make_loop(end=V("n")), {"i", "n"}) is None
+
+
+class TestOffsetBounds:
+    def test_positive_coefficient(self):
+        loop = Loop(var="i", start=Const(0), end=V("N"), body=[], step=1)
+        trips = trip_range(loop, {"i"})
+        affine = affine_of(V("i") * 4, "i", {"i"})
+        low, high = offset_bounds(affine, trips, 4)
+        assert low == Const(0)
+        # 4*(N-1) + 4
+        from repro.passes.constprop import fold
+
+        assert fold(high, {"N": 10}) == Const(40)
+
+    def test_invariant_access(self):
+        loop = Loop(var="i", start=Const(0), end=Const(8), body=[], step=1)
+        trips = trip_range(loop, {"i"})
+        affine = affine_of(Const(24), "i", {"i"})
+        low, high = offset_bounds(affine, trips, 8)
+        assert low == Const(24)
+        assert high == Const(32)
+
+    def test_negative_coefficient_reversed_bounds(self):
+        loop = Loop(var="i", start=Const(0), end=Const(10), body=[], step=1)
+        trips = trip_range(loop, {"i"})
+        affine = affine_of(Const(100) - V("i") * 4, "i", {"i"})
+        low, high = offset_bounds(affine, trips, 4)
+        from repro.passes.constprop import fold
+
+        assert fold(low) == Const(64)  # 100 - 4*9
+        assert fold(high) == Const(104)  # 100 + 4
+
+
+class TestLoopKilledVars:
+    def test_includes_induction_var(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            with f.loop("i", 0, 4) as i:
+                f.load("x", "p", i * 8, 8)
+        loop = b.build().function("main").body[1]
+        killed = loop_killed_vars(loop)
+        assert killed == {"i", "x"}

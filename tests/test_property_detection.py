@@ -1,0 +1,114 @@
+"""Property tests on *detection* guarantees.
+
+The anchor-based enhancement's claim is absolute: for an access anchored
+at the object base, ANY out-of-bounds end offset is detected, whatever
+the jump distance.  ASan's claim is conditional (the jump must land in a
+redzone or other poison).  Both are property-tested here, along with
+temporal guarantees under churn.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import ProgramBuilder, Session
+from repro.errors import AccessType, ErrorKind
+from repro.memory import ArenaLayout
+from repro.sanitizers import GiantSan
+
+SMALL = ArenaLayout(heap_size=1 << 18, stack_size=1 << 14, globals_size=1 << 13)
+
+
+class TestAnchoredDetectionIsTotal:
+    @given(
+        size=st.integers(min_value=1, max_value=2000),
+        jump=st.integers(min_value=0, max_value=30000),
+        neighbours=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_any_overflow_distance_detected(self, size, jump, neighbours):
+        """GiantSan with anchors detects base[size + jump] for EVERY
+        jump, even when the access lands inside another live object."""
+        san = GiantSan(layout=SMALL)
+        victim = san.malloc(size)
+        for _ in range(neighbours):
+            san.malloc(4096)
+        target = victim.base + size + jump
+        assume(target + 1 <= san.layout.total_size)
+        assert not san.check_region(
+            target, target + 1, AccessType.WRITE, anchor=victim.base
+        )
+
+    @given(
+        size=st.integers(min_value=8, max_value=2000),
+        offset=st.integers(min_value=0, max_value=1999),
+        width=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_no_false_positive_in_bounds(self, size, offset, width):
+        assume(offset + width <= size)
+        san = GiantSan(layout=SMALL)
+        victim = san.malloc(size)
+        assert san.check_region(
+            victim.base + offset,
+            victim.base + offset + width,
+            AccessType.READ,
+            anchor=victim.base,
+        )
+
+    @given(
+        size=st.integers(min_value=1, max_value=1000),
+        jump=st.integers(min_value=1, max_value=2000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_underflow_any_distance_detected(self, size, jump):
+        san = GiantSan(layout=SMALL)
+        san.malloc(4096)  # a lower neighbour to land in
+        victim = san.malloc(size)
+        target = victim.base - jump
+        assume(target >= 0)
+        assert not san.check_region(
+            target, target + 1, AccessType.READ, anchor=victim.base
+        )
+
+
+class TestTemporalUnderChurn:
+    @given(
+        churn=st.lists(
+            st.integers(min_value=8, max_value=256), min_size=0, max_size=10
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_uaf_detected_while_quarantined(self, churn):
+        """With the default (ample) quarantine, a dangling access is
+        detected regardless of intervening allocation churn."""
+        san = GiantSan(layout=SMALL)
+        victim = san.malloc(128)
+        san.free(victim.base)
+        for size in churn:
+            keeper = san.malloc(size)
+            san.space.store(keeper.base, 8, 1)
+        assert not san.check_region(
+            victim.base, victim.base + 8, AccessType.READ
+        )
+        assert ErrorKind.USE_AFTER_FREE in san.log.kinds()
+
+
+class TestDetectionThroughPrograms:
+    @given(
+        size=st.integers(min_value=4, max_value=500),
+        extra=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_loop_overflow_always_caught_end_to_end(self, size, extra):
+        """A byte-wise loop running ``extra`` bytes past any buffer is
+        caught by every shadow-memory tool through the whole pipeline
+        (instrumentation included)."""
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", size)
+            with f.loop("i", 0, size + extra, bounded=False) as i:
+                f.store("p", i, 1, 0)
+            f.free("p")
+        program = b.build()
+        for tool in ("GiantSan", "ASan", "ASan--"):
+            result = Session(tool).run(program)
+            assert result.errors, (tool, size, extra)

@@ -1,0 +1,215 @@
+"""Cross-cutting property tests (hypothesis) on core invariants.
+
+These complement tests/test_region_check.py's Algorithm-1-vs-oracle
+property with: ASan's instruction check vs the oracle, allocator layout
+invariants under arbitrary malloc/free sequences, quasi-bound soundness,
+and encoding agreement between ASan and GiantSan shadows.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AccessType
+from repro.memory import ArenaLayout
+from repro.sanitizers import ASan, GiantSan
+from repro.shadow import asan_encoding
+from repro.shadow.oracle import (
+    asan_region_is_addressable,
+    giantsan_region_is_addressable,
+)
+
+SMALL = ArenaLayout(heap_size=1 << 16, stack_size=1 << 14, globals_size=1 << 13)
+
+
+@st.composite
+def asan_heap_and_access(draw):
+    san = ASan(layout=SMALL)
+    allocations = [
+        san.malloc(draw(st.integers(min_value=1, max_value=300)))
+        for _ in range(draw(st.integers(min_value=1, max_value=5)))
+    ]
+    for allocation in allocations:
+        if draw(st.booleans()):
+            san.free(allocation.base)
+    low = allocations[0].chunk_base - 8
+    high = allocations[-1].chunk_end + 8
+    address = draw(st.integers(min_value=low, max_value=high - 8))
+    width = draw(st.sampled_from([1, 2, 4, 8]))
+    return san, address, width
+
+
+class TestASanCheckMatchesOracle:
+    @given(asan_heap_and_access())
+    @settings(max_examples=200, deadline=None)
+    def test_small_access_check_exact(self, case):
+        san, address, width = case
+        expected, _ = asan_region_is_addressable(
+            san.shadow, address, address + width
+        )
+        observed = (
+            asan_encoding.check_small_access(san.shadow, address, width)
+            is None
+        )
+        assert observed == expected
+
+    @given(asan_heap_and_access())
+    @settings(max_examples=100, deadline=None)
+    def test_region_scan_matches_oracle(self, case):
+        san, address, width = case
+        length = width * 9  # force a multi-segment scan
+        expected, _ = asan_region_is_addressable(
+            san.shadow, address, address + length
+        )
+        assert san.check_region(
+            address, address + length, AccessType.READ
+        ) == expected
+
+
+@st.composite
+def allocation_script(draw):
+    """A sequence of malloc sizes and which of them to free, in order."""
+    sizes = draw(
+        st.lists(st.integers(min_value=0, max_value=500), min_size=1,
+                 max_size=12)
+    )
+    frees = draw(
+        st.lists(st.booleans(), min_size=len(sizes), max_size=len(sizes))
+    )
+    return sizes, frees
+
+
+class TestAllocatorInvariants:
+    @given(allocation_script())
+    @settings(max_examples=150, deadline=None)
+    def test_live_chunks_disjoint_and_aligned(self, script):
+        sizes, frees = script
+        san = GiantSan(layout=SMALL)
+        live = []
+        for size, do_free in zip(sizes, frees):
+            allocation = san.malloc(size)
+            assert allocation.base % 8 == 0
+            assert allocation.chunk_base % 8 == 0
+            if do_free:
+                san.free(allocation.base)
+            else:
+                live.append(allocation)
+        spans = sorted((a.chunk_base, a.chunk_end) for a in live)
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+        assert not san.log  # the script itself is benign
+
+    @given(allocation_script())
+    @settings(max_examples=100, deadline=None)
+    def test_live_objects_fully_addressable(self, script):
+        sizes, frees = script
+        san = GiantSan(layout=SMALL)
+        live = []
+        for size, do_free in zip(sizes, frees):
+            allocation = san.malloc(size)
+            (san.free(allocation.base) if do_free else live.append(allocation))
+        for allocation in live:
+            if allocation.requested_size == 0:
+                continue
+            ok, fault = giantsan_region_is_addressable(
+                san.shadow, allocation.base, allocation.end
+            )
+            assert ok, (allocation.requested_size, fault)
+
+    @given(allocation_script())
+    @settings(max_examples=100, deadline=None)
+    def test_chunk_boundaries_poisoned(self, script):
+        """One byte before/after every live object is non-addressable."""
+        sizes, frees = script
+        san = GiantSan(layout=SMALL)
+        for size, do_free in zip(sizes, frees):
+            allocation = san.malloc(max(size, 1))
+            if do_free:
+                san.free(allocation.base)
+                continue
+            before_ok, _ = giantsan_region_is_addressable(
+                san.shadow, allocation.base - 1, allocation.base
+            )
+            after_ok, _ = giantsan_region_is_addressable(
+                san.shadow, allocation.usable_end, allocation.usable_end + 1
+            )
+            assert not before_ok
+            assert not after_ok
+
+
+@st.composite
+def traversal_case(draw):
+    size = draw(st.integers(min_value=16, max_value=2048))
+    san = GiantSan(layout=SMALL)
+    allocation = san.malloc(size)
+    offsets = draw(
+        st.lists(
+            st.integers(min_value=-16, max_value=size + 32),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return san, allocation, offsets
+
+
+class TestQuasiBoundSoundness:
+    @given(traversal_case())
+    @settings(max_examples=200, deadline=None)
+    def test_cached_checks_exactly_match_ground_truth(self, case):
+        """In any access order, check_cached accepts exactly the accesses
+        whose bytes are addressable AND reachable from the anchor — the
+        cache introduces no false negatives and no false positives."""
+        san, allocation, offsets = case
+        cache = san.make_cache()
+        size = allocation.requested_size
+        for offset in offsets:
+            expected = 0 <= offset and offset + 4 <= size
+            observed = san.check_cached(
+                cache, allocation.base, offset, 4, AccessType.READ
+            )
+            assert observed == expected, offset
+        # the quasi-bound never exceeds the object size
+        assert cache.ub <= size
+
+    @given(traversal_case())
+    @settings(max_examples=100, deadline=None)
+    def test_cache_results_independent_of_history(self, case):
+        """A fresh, uncached check agrees with the cached one for every
+        offset, whatever earlier accesses populated the cache."""
+        san, allocation, offsets = case
+        cache = san.make_cache()
+        for offset in offsets:
+            cached = san.check_cached(
+                cache, allocation.base, offset, 4, AccessType.READ
+            )
+            fresh = san.check_cached(
+                san.make_cache(), allocation.base, offset, 4, AccessType.READ
+            )
+            assert cached == fresh
+
+
+class TestEncodingAgreement:
+    @given(allocation_script())
+    @settings(max_examples=100, deadline=None)
+    def test_asan_and_giantsan_shadows_encode_same_facts(self, script):
+        sizes, frees = script
+        asan = ASan(layout=SMALL)
+        giant = GiantSan(layout=SMALL)
+        pairs = []
+        for size, do_free in zip(sizes, frees):
+            a = asan.malloc(size)
+            g = giant.malloc(size)
+            assert a.base == g.base  # identical allocator behaviour
+            if do_free:
+                asan.free(a.base)
+                giant.free(g.base)
+            pairs.append((a, g))
+        lo = pairs[0][0].chunk_base
+        hi = pairs[-1][0].chunk_end
+        for start in range(lo, hi, 5):
+            for length in (1, 8, 64):
+                a_ok = asan_region_is_addressable(
+                    asan.shadow, start, start + length
+                )[0]
+                g_ok = giantsan_region_is_addressable(
+                    giant.shadow, start, start + length
+                )[0]
+                assert a_ok == g_ok, (start, length)

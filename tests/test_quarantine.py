@@ -1,0 +1,61 @@
+"""Tests for the FIFO quarantine."""
+
+import pytest
+
+from repro.memory import HeapAllocator, Quarantine
+
+
+def make(allocator, size=32):
+    allocation = allocator.malloc(size)
+    allocator.free(allocation.base)
+    return allocation
+
+
+class TestQuarantine:
+    def test_holds_until_budget(self, allocator):
+        evicted_log = []
+        quarantine = Quarantine(1 << 20, evicted_log.append)
+        allocation = make(allocator)
+        assert quarantine.push(allocation) == []
+        assert len(quarantine) == 1
+        assert quarantine.held_bytes == allocation.chunk_size
+        assert not evicted_log
+
+    def test_evicts_fifo_when_over_budget(self, allocator):
+        evicted_log = []
+        first = make(allocator)
+        quarantine = Quarantine(first.chunk_size, evicted_log.append)
+        quarantine.push(first)
+        second = make(allocator)
+        evicted = quarantine.push(second)
+        assert evicted == [first]
+        assert evicted_log == [first]
+        assert len(quarantine) == 1
+
+    def test_zero_budget_evicts_immediately(self, allocator):
+        evicted_log = []
+        quarantine = Quarantine(0, evicted_log.append)
+        allocation = make(allocator)
+        assert quarantine.push(allocation) == [allocation]
+        assert len(quarantine) == 0
+
+    def test_drain_evicts_all(self, allocator):
+        evicted_log = []
+        quarantine = Quarantine(1 << 20, evicted_log.append)
+        allocations = [make(allocator) for _ in range(3)]
+        for allocation in allocations:
+            quarantine.push(allocation)
+        assert quarantine.drain() == allocations
+        assert quarantine.held_bytes == 0
+        assert evicted_log == allocations
+
+    def test_counters(self, allocator):
+        quarantine = Quarantine(0, lambda a: None)
+        quarantine.push(make(allocator))
+        quarantine.push(make(allocator))
+        assert quarantine.total_quarantined == 2
+        assert quarantine.total_evicted == 2
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Quarantine(-1, lambda a: None)

@@ -1,0 +1,144 @@
+"""Property tests: Algorithm 1 (CI) agrees with the byte-exact oracle.
+
+The paper claims CI(L, R) safeguards arbitrary regions in O(1).  Here we
+verify, over randomized heaps and regions, that the fast+slow check is
+*exactly* as precise as scanning every shadow byte — and that it never
+loads more than 4 shadow bytes doing so.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AccessType
+from repro.memory import ArenaLayout
+from repro.sanitizers import GiantSan
+from repro.shadow.oracle import giantsan_region_is_addressable
+
+
+def fresh_giantsan():
+    layout = ArenaLayout(
+        heap_size=1 << 16, stack_size=1 << 14, globals_size=1 << 13
+    )
+    return GiantSan(layout=layout)
+
+
+@st.composite
+def heap_and_region(draw):
+    """A randomized heap plus an arbitrary candidate region."""
+    san = fresh_giantsan()
+    sizes = draw(
+        st.lists(st.integers(min_value=1, max_value=600), min_size=1, max_size=6)
+    )
+    allocations = [san.malloc(size) for size in sizes]
+    freed = draw(st.lists(st.booleans(), min_size=len(sizes), max_size=len(sizes)))
+    for allocation, do_free in zip(allocations, freed):
+        if do_free:
+            san.free(allocation.base)
+    low = allocations[0].chunk_base - 16
+    high = allocations[-1].chunk_end + 16
+    start = draw(st.integers(min_value=low, max_value=high - 1))
+    length = draw(st.integers(min_value=1, max_value=high - start))
+    return san, start, start + length
+
+
+class TestAlgorithm1Exactness:
+    @given(heap_and_region())
+    @settings(max_examples=300, deadline=None)
+    def test_ci_matches_oracle(self, case):
+        san, start, end = case
+        expected, _ = giantsan_region_is_addressable(san.shadow, start, end)
+        assert san._ci(start, end) == expected
+
+    @given(heap_and_region())
+    @settings(max_examples=300, deadline=None)
+    def test_constant_shadow_loads(self, case):
+        """CI loads at most 4 shadow bytes regardless of region size."""
+        san, start, end = case
+        before = san.stats.shadow_loads
+        san._ci(start, end)
+        assert san.stats.shadow_loads - before <= 4
+
+
+class TestAlignedRegions:
+    """Exhaustive sweep over every aligned subregion of one object."""
+
+    @pytest.mark.parametrize("size", [8, 12, 24, 68, 100, 256, 1000])
+    def test_all_interior_regions_safe(self, size):
+        san = fresh_giantsan()
+        allocation = san.malloc(size)
+        base = allocation.base
+        for start_off in range(0, size, 8):
+            for end_off in range(start_off + 1, size + 1):
+                assert san._ci(base + start_off, base + end_off), (
+                    f"size={size} [{start_off},{end_off}) wrongly rejected"
+                )
+
+    @pytest.mark.parametrize("size", [8, 12, 24, 68, 100])
+    def test_one_past_end_rejected(self, size):
+        san = fresh_giantsan()
+        allocation = san.malloc(size)
+        base = allocation.base
+        for start_off in range(0, size, 8):
+            assert not san._ci(base + start_off, base + size + 1), (
+                f"size={size} overflow from {start_off} missed"
+            )
+
+    def test_empty_region_is_safe(self):
+        san = fresh_giantsan()
+        allocation = san.malloc(64)
+        assert san._ci(allocation.base, allocation.base)
+
+    def test_unaligned_start_within_partial(self):
+        san = fresh_giantsan()
+        allocation = san.malloc(13)  # good segment + 5-partial
+        base = allocation.base
+        assert san._ci(base + 9, base + 13)
+        assert not san._ci(base + 9, base + 14)
+
+    def test_region_through_redzone_rejected(self):
+        san = fresh_giantsan()
+        a = san.malloc(64)
+        b = san.malloc(64)
+        lo, hi = sorted([a.base, b.base])
+        assert not san._ci(lo, hi + 8)
+
+    def test_wild_region_rejected(self):
+        san = fresh_giantsan()
+        assert not san._ci(-64, 0)
+        total = san.layout.total_size
+        assert not san._ci(total - 8, total + 8)
+
+
+class TestFastSlowSplit:
+    def test_whole_object_is_fast(self):
+        """The first segment's degree covers the whole object."""
+        san = fresh_giantsan()
+        allocation = san.malloc(4096)
+        san.reset_stats()
+        san.check_region(
+            allocation.base, allocation.base + 4096, AccessType.READ
+        )
+        assert san.stats.fast_checks == 1
+        assert san.stats.slow_checks == 0
+        assert san.stats.shadow_loads == 1
+
+    def test_suffix_region_may_need_slow_check(self):
+        """A region starting past the fold apex exercises the slow path."""
+        san = fresh_giantsan()
+        allocation = san.malloc(24)  # degrees (1)(1)(0)
+        san.reset_stats()
+        assert san.check_region(
+            allocation.base, allocation.base + 24, AccessType.READ
+        )
+        assert san.stats.slow_checks == 1
+
+    def test_fast_check_covers_majority_prefix(self):
+        """u covers > 50% of addressable bytes after L (paper §4.2)."""
+        from repro.shadow import giantsan_encoding as enc
+
+        san = fresh_giantsan()
+        for size in (16, 100, 1000, 4096):
+            allocation = san.malloc(size)
+            code = san.shadow.load(allocation.base >> 3)
+            guaranteed = enc.guaranteed_bytes(code)
+            assert guaranteed * 2 > (size // 8) * 8

@@ -1,0 +1,100 @@
+"""Tests for the shared sanitizer base class and the native baseline."""
+
+import pytest
+
+from repro.errors import AccessType
+from repro.memory import ArenaLayout
+from repro.sanitizers import CheckStats, NativeSanitizer, Sanitizer
+from repro.sanitizers.base import AccessCache
+
+
+class TestCheckStats:
+    def test_reset(self):
+        stats = CheckStats(shadow_loads=5, checks_executed=2)
+        stats.reset()
+        assert stats.shadow_loads == 0
+        assert stats.checks_executed == 0
+
+    def test_as_dict_roundtrip(self):
+        stats = CheckStats(shadow_loads=3)
+        d = stats.as_dict()
+        assert d["shadow_loads"] == 3
+        assert set(d) >= {"fast_checks", "slow_checks", "cached_hits"}
+
+    def test_merged(self):
+        a = CheckStats(shadow_loads=3, reports=1)
+        b = CheckStats(shadow_loads=4, frees=2)
+        m = a.merged(b)
+        assert m.shadow_loads == 7
+        assert m.reports == 1
+        assert m.frees == 2
+        assert a.shadow_loads == 3  # originals untouched
+
+
+class TestAccessCache:
+    def test_initially_covers_nothing(self):
+        cache = AccessCache()
+        assert not cache.covers(1)
+        assert cache.covers(0)
+
+    def test_reset(self):
+        cache = AccessCache()
+        cache.ub = 100
+        assert cache.covers(100)
+        cache.reset()
+        assert not cache.covers(1)
+
+
+class TestNativeSanitizer:
+    @pytest.fixture
+    def native(self):
+        return NativeSanitizer(
+            layout=ArenaLayout(
+                heap_size=1 << 16, stack_size=1 << 14, globals_size=1 << 13
+            )
+        )
+
+    def test_all_checks_pass(self, native):
+        assert native.check_access(123456, 8, AccessType.READ)
+        assert native.check_region(0, 1 << 20, AccessType.WRITE)
+
+    def test_no_stats_charged(self, native):
+        allocation = native.malloc(64)
+        native.free(allocation.base)
+        assert native.stats.allocations == 0
+        assert native.stats.frees == 0
+        assert native.stats.shadow_loads == 0
+
+    def test_memory_reusable_immediately(self, native):
+        a = native.malloc(64)
+        native.free(a.base)
+        b = native.malloc(64)
+        assert b.chunk_base == a.chunk_base
+
+    def test_bad_free_silently_ignored(self, native):
+        native.free(424242)  # UB in C; native crashes or corrupts silently
+        assert not native.log
+
+    def test_no_redzone(self, native):
+        allocation = native.malloc(64)
+        assert allocation.left_redzone == 0
+
+
+class TestBaseSanitizerPlumbing:
+    def test_base_checks_default_true(self):
+        san = Sanitizer(
+            layout=ArenaLayout(
+                heap_size=1 << 16, stack_size=1 << 14, globals_size=1 << 13
+            )
+        )
+        assert san.check_access(0, 8, AccessType.READ)
+        cache = san.make_cache()
+        assert san.check_cached(cache, 4096, 0, 8, AccessType.READ)
+
+    def test_repr_contains_error_count(self):
+        san = Sanitizer()
+        assert "errors=0" in repr(san)
+
+    def test_error_count_property(self):
+        san = Sanitizer()
+        assert san.error_count == 0

@@ -1,0 +1,159 @@
+"""Behavioural tests for the HWASAN-style tag-based baseline (§6)."""
+
+import pytest
+
+from repro import ProgramBuilder, Session, V
+from repro.errors import AccessType, ErrorKind
+from repro.memory import ArenaLayout
+from repro.sanitizers import HWASan
+from repro.sanitizers.hwasan import (
+    GRANULE_SIZE,
+    pointer_tag,
+    untag,
+    with_tag,
+)
+
+SMALL = ArenaLayout(heap_size=1 << 17, stack_size=1 << 14, globals_size=1 << 13)
+
+
+@pytest.fixture
+def hwasan():
+    return HWASan(layout=SMALL)
+
+
+class TestTagPlumbing:
+    def test_tag_roundtrip(self):
+        tagged = with_tag(0x1234, 0xAB)
+        assert pointer_tag(tagged) == 0xAB
+        assert untag(tagged) == 0x1234
+
+    def test_malloc_returns_tagged_pointer(self, hwasan):
+        allocation = hwasan.malloc(64)
+        assert pointer_tag(allocation.base) != 0
+        assert untag(allocation.base) % 8 == 0
+
+    def test_distinct_allocations_distinct_tags(self, hwasan):
+        tags = {pointer_tag(hwasan.malloc(32).base) for _ in range(16)}
+        assert len(tags) == 16
+
+    def test_tag_space_wraps(self, hwasan):
+        from repro.sanitizers.hwasan import TAG_SPACE
+
+        for _ in range(TAG_SPACE + 5):
+            tag = pointer_tag(hwasan.malloc(16).base)
+            assert 1 <= tag <= TAG_SPACE
+
+    def test_pointer_arithmetic_preserves_tag(self, hwasan):
+        allocation = hwasan.malloc(64)
+        assert pointer_tag(allocation.base + 48) == pointer_tag(allocation.base)
+
+
+class TestChecks:
+    def test_in_bounds_access_ok(self, hwasan):
+        allocation = hwasan.malloc(64)
+        assert hwasan.check_access(allocation.base + 32, 8, AccessType.READ)
+        assert not hwasan.log
+
+    def test_overflow_beyond_granules_detected(self, hwasan):
+        allocation = hwasan.malloc(100)  # granules cover [0, 112)
+        assert not hwasan.check_access(
+            allocation.base + 112, 4, AccessType.WRITE
+        )
+        assert hwasan.log.kinds() == [ErrorKind.HEAP_BUFFER_OVERFLOW]
+
+    def test_granule_slack_false_negative(self, hwasan):
+        """HWASAN's 16-byte granularity blind spot: an overflow landing
+        inside the object's last granule goes unnoticed."""
+        allocation = hwasan.malloc(100)
+        assert hwasan.check_access(allocation.base + 104, 4, AccessType.WRITE)
+        assert not hwasan.log
+
+    def test_use_after_free_via_retagging(self, hwasan):
+        allocation = hwasan.malloc(64)
+        dangling = allocation.base
+        hwasan.free(dangling)
+        assert not hwasan.check_access(dangling, 8, AccessType.READ)
+        assert hwasan.log.kinds() == [ErrorKind.USE_AFTER_FREE]
+
+    def test_region_check_is_linear(self, hwasan):
+        allocation = hwasan.malloc(4096)
+        hwasan.reset_stats()
+        assert hwasan.check_region(
+            allocation.base, allocation.base + 4096, AccessType.READ,
+            anchor=allocation.base,
+        )
+        assert hwasan.stats.shadow_loads == 4096 // GRANULE_SIZE
+
+    def test_neighbour_object_tag_mismatch(self, hwasan):
+        """A far jump into the neighbour is caught without any redzone:
+        the tags differ (the token-authentication property of §6)."""
+        a = hwasan.malloc(64)
+        b = hwasan.malloc(8192)
+        target = untag(b.base) + 64
+        probe = with_tag(target, pointer_tag(a.base))
+        assert not hwasan.check_access(probe, 4, AccessType.READ)
+
+    def test_null_dereference(self, hwasan):
+        assert not hwasan.check_access(0, 8, AccessType.READ)
+        assert hwasan.log.kinds() == [ErrorKind.NULL_DEREFERENCE]
+
+
+class TestProgramsUnderHWASan:
+    def test_benign_program_clean_and_correct(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 256)
+            with f.loop("i", 0, 32) as i:
+                f.store("p", i * 8, 8, i * 3)
+            f.load("x", "p", 8 * 20, 8)
+            f.memset("p", 0, 128)
+            f.free("p")
+            f.ret(V("x"))
+        result = Session("HWASan").run(b.build())
+        assert not result.errors
+        assert result.return_value == 60
+
+    def test_stack_frames_tagged(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.stack_alloc("buf", 32)
+            f.store("buf", 0, 8, 1)
+            f.store("buf", 48, 8, 1)  # beyond the variable's granules
+        result = Session("HWASan").run(b.build())
+        assert ErrorKind.STACK_BUFFER_OVERFLOW in result.errors.kinds()
+
+    def test_globals_tagged(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.global_alloc("g", 64)
+            f.store("g", 0, 8, 1)
+            f.load("x", "g", 80, 8)
+        result = Session("HWASan").run(b.build())
+        assert ErrorKind.GLOBAL_BUFFER_OVERFLOW in result.errors.kinds()
+
+    def test_strcpy_under_tags(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("src", 16)
+            f.malloc("dst", 16)
+            f.store("src", 0, 1, 65)
+            f.store("src", 1, 1, 0)
+            f.strcpy("dst", 0, "src", 0)
+            f.load("x", "dst", 0, 1)
+            f.ret(V("x"))
+        result = Session("HWASan").run(b.build())
+        assert not result.errors
+        assert result.return_value == 65
+
+    def test_comparison_with_giantsan_protection_density(self):
+        """The §6 argument: HWASAN checks a 4 KiB memset with 256 tag
+        loads; GiantSan needs at most 4 shadow loads."""
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 4096)
+            f.memset("p", 0, 4096)
+            f.free("p")
+        hw = Session("HWASan").run(b.build())
+        giant = Session("GiantSan").run(b.build())
+        assert hw.stats.shadow_loads >= 256
+        assert giant.stats.shadow_loads <= 4

@@ -1,0 +1,120 @@
+"""Behavioural tests for the LFP baseline: size-class slack semantics."""
+
+import pytest
+
+from repro.errors import AccessType, ErrorKind
+from repro.memory import ArenaLayout
+from repro.sanitizers import LFP
+
+
+@pytest.fixture
+def lfp():
+    return LFP(
+        layout=ArenaLayout(heap_size=1 << 16, stack_size=1 << 14, globals_size=1 << 13)
+    )
+
+
+class TestSlackFalseNegatives:
+    def test_overflow_within_slack_missed(self, lfp):
+        """char p[600]: the 600..639 range is inside the 640-byte size
+        class, so the overflow is *not* detected (paper §2.1 / Table 3)."""
+        allocation = lfp.malloc(600)
+        assert allocation.usable_size == 640
+        assert lfp.check_region(
+            allocation.base + 600, allocation.base + 604, AccessType.READ,
+            anchor=allocation.base,
+        )
+        assert not lfp.log
+
+    def test_overflow_beyond_class_detected(self, lfp):
+        allocation = lfp.malloc(600)
+        assert not lfp.check_region(
+            allocation.base + 640, allocation.base + 644, AccessType.READ,
+            anchor=allocation.base,
+        )
+        assert lfp.log.kinds() == [ErrorKind.HEAP_BUFFER_OVERFLOW]
+
+    def test_paper_p700_example(self, lfp):
+        """BBC's miss of p[700] on char p[600] — LFP's tighter classes
+        catch this one (640 < 700), which is exactly its improvement."""
+        allocation = lfp.malloc(600)
+        assert not lfp.check_region(
+            allocation.base + 700, allocation.base + 701, AccessType.READ,
+            anchor=allocation.base,
+        )
+
+
+class TestBoundsSemantics:
+    def test_underflow_detected(self, lfp):
+        """The region base is exact, so underflows are caught (Table 3's
+        767/767 buffer underwrite row)."""
+        allocation = lfp.malloc(64)
+        assert not lfp.check_region(
+            allocation.base - 4, allocation.base, AccessType.WRITE,
+            anchor=allocation.base,
+        )
+        assert lfp.log.kinds() == [ErrorKind.HEAP_BUFFER_UNDERFLOW]
+
+    def test_use_after_free_detected_until_reuse(self, lfp):
+        allocation = lfp.malloc(64)
+        lfp.free(allocation.base)
+        assert not lfp.check_region(
+            allocation.base, allocation.base + 8, AccessType.READ,
+            anchor=allocation.base,
+        )
+        assert lfp.log.kinds() == [ErrorKind.USE_AFTER_FREE]
+
+    def test_stack_unprotected(self, lfp):
+        """LFP's alignment requirements preclude cheap stack protection
+        (paper §5.2): stack accesses pass unchecked."""
+        frame = lfp.push_frame([16, 16])
+        a = frame.variables[0]
+        assert lfp.check_region(
+            a.base, a.base + 64, AccessType.WRITE, anchor=a.base
+        )
+        assert not lfp.log
+
+    def test_no_metadata_loads(self, lfp):
+        """LFP derives bounds from the pointer value: zero shadow loads."""
+        allocation = lfp.malloc(256)
+        lfp.reset_stats()
+        lfp.check_region(
+            allocation.base, allocation.base + 256, AccessType.READ,
+            anchor=allocation.base,
+        )
+        assert lfp.stats.shadow_loads == 0
+        assert lfp.stats.extra_instructions > 0  # stack-simulation tax
+
+    def test_no_redzones(self, lfp):
+        allocation = lfp.malloc(64)
+        assert allocation.left_redzone == 0
+
+    def test_instruction_check_within_region(self, lfp):
+        allocation = lfp.malloc(64)
+        assert lfp.check_access(allocation.base + 32, 4, AccessType.READ)
+
+    def test_use_after_free_via_base_pointer_detected(self, lfp):
+        allocation = lfp.malloc(64)
+        lfp.free(allocation.base)
+        assert not lfp.check_access(allocation.base, 4, AccessType.READ)
+        assert lfp.log.kinds() == [ErrorKind.USE_AFTER_FREE]
+
+    def test_use_after_free_via_interior_pointer_missed(self, lfp):
+        """An aliased interior pointer re-derives a plausible region, so
+        LFP cannot notice the free (the libzip CVE-2017-12858 shape)."""
+        allocation = lfp.malloc(64)
+        lfp.free(allocation.base)
+        assert lfp.check_access(allocation.base + 8, 4, AccessType.READ)
+        assert lfp.check_region(
+            allocation.base + 16, allocation.base + 24, AccessType.READ,
+            anchor=allocation.base + 16,
+        )
+        assert not lfp.log
+
+    def test_cached_interface_delegates(self, lfp):
+        allocation = lfp.malloc(64)
+        cache = lfp.make_cache()
+        assert lfp.check_cached(cache, allocation.base, 0, 8, AccessType.READ)
+        assert not lfp.check_cached(
+            cache, allocation.base, 64, 8, AccessType.READ
+        )

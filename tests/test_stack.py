@@ -1,0 +1,67 @@
+"""Tests for the simulated stack allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.memory import AddressSpace, ArenaLayout, StackAllocator
+
+
+@pytest.fixture
+def stack(space):
+    return StackAllocator(space, redzone=16)
+
+
+class TestFrames:
+    def test_variables_are_aligned_and_separated(self, stack):
+        frame = stack.push_frame([10, 20], ["a", "b"])
+        a, b = frame.variables
+        assert a.base % 8 == 0
+        assert b.base % 8 == 0
+        assert b.base >= a.end + 16 - 8  # redzone gap (8B aligned)
+
+    def test_frame_within_stack_arena(self, stack, space):
+        frame = stack.push_frame([64])
+        assert space.arena_of(frame.base) == "stack"
+        assert space.arena_of(frame.end - 1) == "stack"
+
+    def test_lifo_pop_restores_cursor(self, stack):
+        first = stack.push_frame([32])
+        second = stack.push_frame([32])
+        assert second.base > first.base
+        stack.pop_frame()
+        third = stack.push_frame([32])
+        assert third.base == second.base
+
+    def test_default_names(self, stack):
+        frame = stack.push_frame([8, 8])
+        assert [v.name for v in frame.variables] == ["var0", "var1"]
+
+    def test_name_size_mismatch(self, stack):
+        with pytest.raises(ValueError):
+            stack.push_frame([8], ["a", "b"])
+
+    def test_zero_size_variable_rejected(self, stack):
+        with pytest.raises(AllocationError):
+            stack.push_frame([0])
+
+    def test_pop_empty_raises(self, stack):
+        with pytest.raises(AllocationError):
+            stack.pop_frame()
+
+    def test_depth_and_current(self, stack):
+        assert stack.depth == 0
+        with pytest.raises(AllocationError):
+            _ = stack.current_frame
+        frame = stack.push_frame([8])
+        assert stack.depth == 1
+        assert stack.current_frame is frame
+
+    def test_exhaustion(self, space):
+        stack = StackAllocator(space, redzone=0)
+        with pytest.raises(AllocationError):
+            stack.push_frame([space.layout.stack_size + 8])
+
+    def test_frame_ids_increase(self, stack):
+        first = stack.push_frame([8])
+        second = stack.push_frame([8])
+        assert second.frame_id > first.frame_id

@@ -1,0 +1,91 @@
+"""Tests for the execution tracer."""
+
+from repro import ProgramBuilder, Session
+from repro.sanitizers import GiantSan
+from repro.trace import EventKind, Tracer
+
+
+def traced_run(build_fn):
+    san = GiantSan()
+    tracer = Tracer.attach(san)
+    Session(san).run(build_fn())
+    return san, tracer
+
+
+def overflow_program():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.malloc("p", 64)
+        f.store("p", 64, 4, 1)
+        f.free("p")
+    return b.build()
+
+
+class TestTracer:
+    def test_records_lifecycle(self):
+        _, tracer = traced_run(overflow_program)
+        kinds = [e.kind for e in tracer.events]
+        assert EventKind.MALLOC in kinds
+        assert EventKind.FREE in kinds
+        assert EventKind.REPORT in kinds
+
+    def test_sequences_monotone(self):
+        _, tracer = traced_run(overflow_program)
+        sequences = [e.sequence for e in tracer.events]
+        assert sequences == sorted(sequences)
+
+    def test_history_of_faulting_address(self):
+        san, tracer = traced_run(overflow_program)
+        report = san.log.reports[0]
+        history = tracer.history_of(report.address - 8)
+        assert any(e.kind is EventKind.MALLOC for e in history)
+        assert any(e.kind is EventKind.FREE for e in history)
+
+    def test_events_near(self):
+        san, tracer = traced_run(overflow_program)
+        near = tracer.events_near(san.log.reports[0].address)
+        assert near
+        assert any(e.kind is EventKind.REPORT for e in near)
+
+    def test_ring_buffer_caps(self):
+        def churn():
+            b = ProgramBuilder()
+            with b.function("main") as f:
+                with f.loop("i", 0, 100):
+                    f.malloc("t", 16)
+                    f.free("t")
+            return b.build()
+
+        san = GiantSan()
+        tracer = Tracer.attach(san, capacity=32)
+        Session(san).run(churn())
+        assert len(tracer) == 32  # capped, newest kept
+        assert tracer.events[-1].sequence > 150
+
+    def test_frame_and_global_events(self):
+        def program():
+            b = ProgramBuilder()
+            with b.function("leaf") as f:
+                f.stack_alloc("buf", 32)
+                f.store("buf", 0, 8, 1)
+            with b.function("main") as m:
+                m.global_alloc("g", 64)
+                m.call("leaf")
+            return b.build()
+
+        _, tracer = traced_run(program)
+        kinds = {e.kind for e in tracer.events}
+        assert EventKind.FRAME_PUSH in kinds
+        assert EventKind.FRAME_POP in kinds
+        assert EventKind.GLOBAL in kinds
+
+    def test_render(self):
+        _, tracer = traced_run(overflow_program)
+        text = tracer.render()
+        assert "malloc" in text
+        assert "report" in text
+        assert Tracer().render() == "(no events)"
+
+    def test_of_kind(self):
+        _, tracer = traced_run(overflow_program)
+        assert len(tracer.of_kind(EventKind.MALLOC)) == 1

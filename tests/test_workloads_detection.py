@@ -1,0 +1,200 @@
+"""Tests for the detection workloads: Juliet, Linux Flaw, Magma."""
+
+import pytest
+
+from repro import Session
+from repro.workloads.juliet import (
+    TABLE3_CWES,
+    generate_cwe122,
+    generate_cwe416,
+    generate_cwe476,
+    generate_cwe761,
+    generate_juliet_suite,
+)
+from repro.workloads.linux_flaw import TABLE4_SCENARIOS, scenarios_by_program
+from repro.workloads.magma import (
+    TABLE5_PROJECTS,
+    generate_project_cases,
+)
+
+
+class TestJulietGenerators:
+    def test_all_cwes_generate(self):
+        suite = generate_juliet_suite()
+        cwes = {case.cwe for case in suite}
+        assert cwes == {cwe for cwe, _ in TABLE3_CWES}
+
+    def test_pairs_balanced(self):
+        cases = generate_cwe122()
+        buggy = [c for c in cases if c.buggy]
+        good = [c for c in cases if not c.buggy]
+        assert len(buggy) == len(good)
+
+    def test_case_ids_unique(self):
+        suite = generate_juliet_suite()
+        ids = [c.case_id for c in suite]
+        assert len(ids) == len(set(ids))
+
+    def test_programs_validate(self):
+        for case in generate_juliet_suite(["CWE416", "CWE476", "CWE761"]):
+            case.program.validate()
+
+    def test_latent_cases_only_in_cwe126(self):
+        suite = generate_juliet_suite()
+        latent = [c for c in suite if c.latent]
+        assert latent
+        assert all(c.cwe == "CWE126" for c in latent)
+        assert all(c.buggy for c in latent)
+
+
+class TestJulietDetectionSamples:
+    @pytest.mark.parametrize("tool", ["GiantSan", "ASan", "ASan--"])
+    def test_shadow_tools_catch_heap_overflow(self, tool):
+        case = next(c for c in generate_cwe122() if c.buggy)
+        assert Session(tool).run(case.program).errors
+
+    def test_lfp_misses_slack_overflow(self):
+        # size 10 rounds to 16: distance-1 overflow sits in the slack
+        case = next(
+            c for c in generate_cwe122()
+            if c.buggy and "s10_d1_direct" in c.case_id
+        )
+        assert not Session("LFP").run(case.program).errors
+
+    @pytest.mark.parametrize("tool", ["GiantSan", "ASan", "ASan--", "LFP"])
+    def test_good_twins_are_silent(self, tool):
+        for case in generate_cwe122()[:8]:
+            if case.buggy:
+                continue
+            assert not Session(tool).run(case.program).errors, case.case_id
+
+    def test_latent_cases_trigger_nothing(self):
+        latent = [c for c in generate_juliet_suite(["CWE126"]) if c.latent]
+        for case in latent:
+            for tool in ("GiantSan", "ASan", "LFP"):
+                assert not Session(tool).run(case.program).errors
+
+    @pytest.mark.parametrize("tool", ["GiantSan", "ASan", "ASan--", "LFP"])
+    def test_uaf_detected_via_base_pointer(self, tool):
+        case = next(c for c in generate_cwe416() if c.buggy)
+        assert Session(tool).run(case.program).errors
+
+    @pytest.mark.parametrize("tool", ["GiantSan", "ASan", "ASan--", "LFP"])
+    def test_null_deref_detected(self, tool):
+        case = next(c for c in generate_cwe476() if c.buggy)
+        assert Session(tool).run(case.program).errors
+
+    @pytest.mark.parametrize("tool", ["GiantSan", "ASan"])
+    def test_bad_free_detected(self, tool):
+        case = next(c for c in generate_cwe761() if c.buggy)
+        assert Session(tool).run(case.program).errors
+
+
+class TestExtendedJulietSuite:
+    def test_double_free_detected_by_shadow_tools(self):
+        from repro.workloads.juliet import generate_cwe415
+
+        for case in generate_cwe415():
+            for tool in ("GiantSan", "ASan", "ASan--"):
+                result = Session(tool).run(case.program)
+                if case.buggy:
+                    assert result.errors, (tool, case.case_id)
+                else:
+                    assert not result.errors, (tool, case.case_id)
+
+    def test_free_of_non_heap_detected(self):
+        from repro.workloads.juliet import generate_cwe590
+
+        for case in generate_cwe590():
+            result = Session("GiantSan").run(case.program)
+            if case.buggy:
+                assert result.errors, case.case_id
+                assert result.errors.kinds()[0].value in (
+                    "invalid-free", "double-free",
+                )
+            else:
+                assert not result.errors
+
+    def test_extended_suite_separate_from_table3(self):
+        from repro.workloads.juliet import (
+            TABLE3_CWES,
+            generate_extended_suite,
+        )
+
+        table3 = {cwe for cwe, _ in TABLE3_CWES}
+        for case in generate_extended_suite():
+            assert case.cwe not in table3
+
+
+class TestLinuxFlawScenarios:
+    def test_twenty_five_rows(self):
+        # 28 CVE identifiers in the paper collapse into 25 scenarios here
+        # (the 9166~9173 range is expanded; 5976~5977 etc. are separate)
+        assert len(TABLE4_SCENARIOS) == 25
+
+    def test_grouped_by_program(self):
+        grouped = scenarios_by_program()
+        assert set(grouped) == {
+            "libzip", "autotrace", "imageworsener", "lame", "zziplib",
+            "libtiff", "potrace", "mp3gain",
+        }
+
+    def test_shadow_tools_detect_everything(self):
+        for scenario in TABLE4_SCENARIOS:
+            for tool in ("GiantSan", "ASan", "ASan--"):
+                result = Session(tool).run(scenario.build())
+                assert result.errors, f"{tool} missed {scenario.cve_id}"
+
+    def test_lfp_misses_exactly_the_papers_three(self):
+        missed = []
+        for scenario in TABLE4_SCENARIOS:
+            if not Session("LFP").run(scenario.build()).errors:
+                missed.append(scenario.cve_id)
+        assert sorted(missed) == [
+            "CVE-2017-12858",  # UAF via aliased pointer
+            "CVE-2017-14409",  # stack overflow
+            "CVE-2017-9165",  # overflow inside rounding slack
+        ]
+
+
+class TestMagmaCases:
+    def test_project_counts(self):
+        php = next(p for p in TABLE5_PROJECTS if p.name == "php")
+        cases = generate_project_cases(php)
+        assert len(cases) == php.total
+        kinds = {c.kind for c in cases}
+        assert kinds == {"near", "mid", "far", "latent"}
+
+    def test_near_case_detected_by_all_configs(self):
+        php = next(p for p in TABLE5_PROJECTS if p.name == "php")
+        near = next(
+            c for c in generate_project_cases(php) if c.kind == "near"
+        )
+        for tool, kwargs in (
+            ("ASan", {"redzone": 16}),
+            ("ASan", {"redzone": 512}),
+            ("GiantSan", {"redzone": 16}),
+        ):
+            assert Session(tool, **kwargs).run(near.build()).errors
+
+    def test_mid_jump_bypasses_small_redzone_only(self):
+        php = next(p for p in TABLE5_PROJECTS if p.name == "php")
+        mid = next(c for c in generate_project_cases(php) if c.kind == "mid")
+        assert not Session("ASan", redzone=16).run(mid.build()).errors
+        assert Session("ASan", redzone=512).run(mid.build()).errors
+        assert Session("GiantSan", redzone=16).run(mid.build()).errors
+
+    def test_far_jump_only_giantsan(self):
+        php = next(p for p in TABLE5_PROJECTS if p.name == "php")
+        far = next(c for c in generate_project_cases(php) if c.kind == "far")
+        assert not Session("ASan", redzone=16).run(far.build()).errors
+        assert not Session("ASan", redzone=512).run(far.build()).errors
+        assert Session("GiantSan", redzone=16).run(far.build()).errors
+
+    def test_latent_cases_silent(self):
+        openssl = next(p for p in TABLE5_PROJECTS if p.name == "openssl")
+        for case in generate_project_cases(openssl):
+            if case.kind != "latent":
+                continue
+            assert not Session("GiantSan").run(case.build()).errors
+            break

@@ -1,0 +1,102 @@
+"""Tests for the SPEC CPU2017 proxies (Table 2 workloads)."""
+
+import pytest
+
+from repro import Session
+from repro.workloads.spec import (
+    SPEC_BY_NAME,
+    SPEC_TABLE2_ROWS,
+    build_spec_program,
+)
+
+
+class TestCatalogue:
+    def test_twenty_four_rows(self):
+        assert len(SPEC_TABLE2_ROWS) == 24
+
+    def test_names_match_paper_table2(self):
+        names = [p.name for p in SPEC_TABLE2_ROWS]
+        assert "500.perlbench_r" in names
+        assert "519.lbm_r" in names
+        assert "657.xz_s" in names
+        assert len([n for n in names if n.endswith("_r")]) == 13
+        assert len([n for n in names if n.endswith("_s")]) == 11
+
+    def test_all_programs_build_and_validate(self):
+        for spec in SPEC_TABLE2_ROWS:
+            program = spec.build()
+            program.validate()
+            assert program.entry == "main"
+
+    def test_build_by_name(self):
+        program = build_spec_program("505.mcf_r")
+        assert "simplex" in program.functions
+
+    def test_speed_variants_scale_larger(self):
+        assert (
+            SPEC_BY_NAME["605.mcf_s"].default_scale
+            > SPEC_BY_NAME["505.mcf_r"].default_scale
+        )
+
+
+class TestExecutionCleanliness:
+    """The proxies model benign programs: no sanitizer may report."""
+
+    @pytest.mark.parametrize("spec", SPEC_TABLE2_ROWS, ids=lambda s: s.name)
+    def test_every_proxy_clean_under_giantsan(self, spec):
+        result = Session("GiantSan").run(spec.build(), args=[1])
+        assert not result.errors, spec.name
+
+    @pytest.mark.parametrize(
+        "name",
+        ["505.mcf_r", "519.lbm_r", "500.perlbench_r", "520.omnetpp_r",
+         "557.xz_r"],
+    )
+    def test_no_reports_under_any_tool(self, name):
+        spec = SPEC_BY_NAME[name]
+        program = spec.build()
+        for tool in ("GiantSan", "ASan", "ASan--", "LFP", "HWASan"):
+            result = Session(tool).run(program, args=[1])
+            assert not result.errors, f"{tool} reported on {name}"
+
+
+class TestOverheadShape:
+    """Spot checks of the Table 2 orderings at reduced scale."""
+
+    def measure(self, name, tools, scale=2):
+        spec = SPEC_BY_NAME[name]
+        program = spec.build()
+        native = Session("Native").run(program, args=[scale]).total_cycles()
+        return {
+            tool: Session(tool).run(program, args=[scale]).total_cycles()
+            / native
+            for tool in tools
+        }
+
+    def test_giantsan_beats_asan_everywhere_sampled(self):
+        for name in ("505.mcf_r", "519.lbm_r", "538.imagick_r"):
+            ratios = self.measure(name, ["GiantSan", "ASan"])
+            assert ratios["GiantSan"] < ratios["ASan"], name
+
+    def test_giantsan_beats_asanmm_sampled(self):
+        for name in ("505.mcf_r", "557.xz_r"):
+            ratios = self.measure(name, ["GiantSan", "ASan--"])
+            assert ratios["GiantSan"] < ratios["ASan--"], name
+
+    def test_lbm_nearly_free_for_giantsan(self):
+        """Paper: lbm overhead 101.09% — fully promotable stencils."""
+        ratios = self.measure("519.lbm_r", ["GiantSan"])
+        assert ratios["GiantSan"] < 1.05
+
+    def test_perlbench_stays_expensive(self):
+        """Paper: perlbench is GiantSan's worst case (~200%)."""
+        ratios = self.measure("500.perlbench_r", ["GiantSan"])
+        assert ratios["GiantSan"] > 1.3
+
+    def test_ablations_bracket_full_giantsan(self):
+        ratios = self.measure(
+            "505.mcf_r",
+            ["GiantSan", "GiantSan-CacheOnly", "GiantSan-EliminationOnly"],
+        )
+        assert ratios["GiantSan"] <= ratios["GiantSan-CacheOnly"]
+        assert ratios["GiantSan"] <= ratios["GiantSan-EliminationOnly"]

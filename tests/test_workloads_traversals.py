@@ -1,0 +1,61 @@
+"""Tests for the Figure 11 traversal workloads (§5.4)."""
+
+import pytest
+
+from repro import Session
+from repro.workloads.traversals import (
+    FIGURE11_PATTERNS,
+    FIGURE11_SIZES,
+    forward_traversal,
+    random_traversal,
+    reverse_traversal,
+)
+
+
+def cycles(tool, program):
+    return Session(tool).run(program).total_cycles()
+
+
+class TestTraversalPrograms:
+    @pytest.mark.parametrize("pattern", FIGURE11_PATTERNS, ids=lambda p: p.name)
+    def test_runs_clean_under_every_tool(self, pattern):
+        program = pattern.build(2048)
+        for tool in ("Native", "GiantSan", "ASan"):
+            result = Session(tool).run(program)
+            assert not result.errors, tool
+
+    def test_sizes_cover_paper_range(self):
+        assert min(FIGURE11_SIZES) == 1024
+        assert max(FIGURE11_SIZES) == 16384
+
+
+class TestFigure11Shape:
+    def test_forward_giantsan_faster_than_asan(self):
+        program = forward_traversal(4096)
+        assert cycles("GiantSan", program) < cycles("ASan", program)
+
+    def test_random_giantsan_faster_than_asan(self):
+        program = random_traversal(4096)
+        assert cycles("GiantSan", program) < cycles("ASan", program)
+
+    def test_reverse_giantsan_slower_than_asan(self):
+        """The §5.4 deterioration: no quasi-lower-bound."""
+        program = reverse_traversal(4096)
+        assert cycles("GiantSan", program) > cycles("ASan", program)
+
+    def test_forward_cache_converges_logarithmically(self):
+        program = forward_traversal(8192)
+        result = Session("GiantSan").run(program)
+        # 8 KiB = 1024 segments: at most ~10 quasi-bound updates
+        assert result.stats.cache_updates <= 12
+        assert result.stats.cached_hits > 1800
+
+    def test_reverse_never_caches(self):
+        program = reverse_traversal(2048)
+        result = Session("GiantSan").run(program)
+        assert result.stats.cached_hits == 0
+
+    def test_native_cost_grows_with_size(self):
+        small = cycles("Native", forward_traversal(1024))
+        large = cycles("Native", forward_traversal(16384))
+        assert large > small * 8
