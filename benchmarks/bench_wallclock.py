@@ -1,0 +1,107 @@
+"""Wall-clock benchmark: Table 2 sweep, seed interpreter vs fast path.
+
+Times the full Table 2 sweep three ways and writes the committed
+``BENCH_interpreter.json`` at the repository root:
+
+* ``baseline`` — fast path off, instrumentation cache off, one process
+  (the seed interpreter's configuration);
+* ``fastpath`` — superblock fast path + instrumentation memo cache on,
+  one process;
+* ``parallel`` — the same plus ``--jobs <cpu_count>`` workers.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py
+
+``REPRO_BENCH_SCALE`` scales the proxies as for the other benchmarks
+(the committed numbers use the full per-program scales).
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from conftest import bench_scale  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+OUTPUT = REPO_ROOT / "BENCH_interpreter.json"
+
+
+def _sweep(jobs: int, scale) -> dict:
+    """One timed Table 2 sweep; fastpath/memoize come from the REPRO_*
+    environment variables the caller pinned (workers inherit them)."""
+    from repro.analysis import PERFORMANCE_TOOLS, run_overhead_study
+    from repro.passes.instrument import clear_instrumentation_cache
+
+    clear_instrumentation_cache()
+    started = time.perf_counter()
+    study = run_overhead_study(
+        tools=list(PERFORMANCE_TOOLS), scale=scale, jobs=jobs
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": round(elapsed, 3),
+        "jobs": jobs,
+        "programs": len(study.rows),
+        "tools": len(study.tools) + 1,  # + the Native baseline runs
+        "geomeans": {
+            tool: round(mean, 6)
+            for tool, mean in study.geometric_means().items()
+        },
+    }
+
+
+def main() -> int:
+    import os
+
+    scale = bench_scale()
+    configurations = {
+        "baseline": dict(fastpath=False, memoize=False, jobs=1),
+        "fastpath": dict(fastpath=True, memoize=True, jobs=1),
+        "parallel": dict(
+            fastpath=True, memoize=True, jobs=max(os.cpu_count() or 1, 1)
+        ),
+    }
+    results = {}
+    for name, config in configurations.items():
+        os.environ["REPRO_FASTPATH"] = "1" if config["fastpath"] else "0"
+        os.environ["REPRO_INSTRUMENT_CACHE"] = (
+            "1" if config["memoize"] else "0"
+        )
+        results[name] = _sweep(config["jobs"], scale)
+        print(
+            f"{name:9s} jobs={config['jobs']:<2d} "
+            f"{results[name]['seconds']:8.2f}s"
+        )
+    os.environ.pop("REPRO_FASTPATH", None)
+    os.environ.pop("REPRO_INSTRUMENT_CACHE", None)
+
+    # The geomeans are the correctness check: every configuration must
+    # reproduce the same Table 2 numbers.
+    reference = results["baseline"]["geomeans"]
+    for name, row in results.items():
+        if row["geomeans"] != reference:
+            raise SystemExit(f"configuration {name!r} changed the results")
+
+    speedup = results["baseline"]["seconds"] / results["fastpath"]["seconds"]
+    payload = {
+        "benchmark": "table2-sweep-wallclock",
+        "scale": "full" if scale is None else scale,
+        "python": sys.version.split()[0],
+        "configurations": results,
+        "speedup_fastpath_vs_baseline": round(speedup, 2),
+        "speedup_parallel_vs_baseline": round(
+            results["baseline"]["seconds"] / results["parallel"]["seconds"], 2
+        ),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nfastpath speedup: {speedup:.2f}x  -> {OUTPUT.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,24 +42,47 @@ class JulietResults:
 def run_juliet_study(
     tools: Optional[List[str]] = None,
     cases: Optional[List[JulietCase]] = None,
+    jobs: int = 1,
 ) -> JulietResults:
-    """Run every Juliet case under every tool (Table 3)."""
+    """Run every Juliet case under every tool (Table 3).
+
+    ``jobs > 1`` splits the generated suite into contiguous slices and
+    aggregates the per-case outcomes in case order, so results match the
+    sequential run exactly.  Explicit ``cases`` always run inline (the
+    workers regenerate the canonical suite by index).
+    """
     tools = tools or DETECTION_TOOLS
+    use_parallel = jobs > 1 and cases is None
     cases = cases if cases is not None else generate_juliet_suite()
     detected: Dict[str, Dict[str, int]] = {t: defaultdict(int) for t in tools}
     totals: Dict[str, int] = defaultdict(int)
     latent: Dict[str, int] = defaultdict(int)
     false_positives: Dict[str, int] = {t: 0 for t in tools}
-    for case in cases:
+    if use_parallel:
+        from .parallel import chunk_ranges, juliet_worker, parallel_map
+
+        payloads = [
+            (lo, hi, tools) for lo, hi in chunk_ranges(len(cases), jobs)
+        ]
+        outcomes: Dict[int, Dict[str, bool]] = {}
+        for slice_outcomes in parallel_map(juliet_worker, payloads, jobs):
+            for index, row in slice_outcomes:
+                outcomes[index] = row
+        errored = lambda case_index, tool: outcomes[case_index][tool]
+    else:
+        errored = lambda case_index, tool: bool(
+            Session(tool).run(cases[case_index].program).errors
+        )
+    for case_index, case in enumerate(cases):
         if case.buggy:
             totals[case.cwe] += 1
             if case.latent:
                 latent[case.cwe] += 1
         for tool in tools:
-            result = Session(tool).run(case.program)
-            if case.buggy and result.errors:
+            has_errors = errored(case_index, tool)
+            if case.buggy and has_errors:
                 detected[tool][case.cwe] += 1
-            elif not case.buggy and result.errors:
+            elif not case.buggy and has_errors:
                 false_positives[tool] += 1
     return JulietResults(
         detected={t: dict(d) for t, d in detected.items()},
@@ -85,11 +108,20 @@ class CveResults:
 def run_linux_flaw_study(
     tools: Optional[List[str]] = None,
     scenarios: Optional[List[CveScenario]] = None,
+    jobs: int = 1,
 ) -> CveResults:
     """Run every CVE scenario under every tool (Table 4)."""
     tools = tools or DETECTION_TOOLS
+    use_parallel = jobs > 1 and scenarios is None
     scenarios = scenarios if scenarios is not None else TABLE4_SCENARIOS
     outcomes: Dict[str, Dict[str, bool]] = {}
+    if use_parallel:
+        from .parallel import linux_flaw_worker, parallel_map
+
+        payloads = [(index, tools) for index in range(len(scenarios))]
+        for cve_id, row in parallel_map(linux_flaw_worker, payloads, jobs):
+            outcomes[cve_id] = row
+        return CveResults(outcomes=outcomes, scenarios=list(scenarios))
     for scenario in scenarios:
         row: Dict[str, bool] = {}
         for tool in tools:
@@ -110,9 +142,22 @@ class MagmaResults:
         return [label for label, _, _ in TABLE5_CONFIGS]
 
 
-def run_magma_study(projects=None) -> MagmaResults:
+def run_magma_study(projects=None, jobs: int = 1) -> MagmaResults:
     """Run the Magma corpora under the five redzone configurations."""
+    use_parallel = jobs > 1 and projects is None
     projects = projects if projects is not None else TABLE5_PROJECTS
+    if use_parallel:
+        from .parallel import magma_worker, parallel_map
+
+        payloads = [(index,) for index in range(len(projects))]
+        detected = {}
+        totals = {}
+        for name, per_config, total in parallel_map(
+            magma_worker, payloads, jobs
+        ):
+            detected[name] = per_config
+            totals[name] = total
+        return MagmaResults(detected=detected, totals=totals)
     detected: Dict[str, Dict[str, int]] = {}
     totals: Dict[str, int] = {}
     for project in projects:

@@ -67,8 +67,18 @@ def measure_check_breakdown(
 def run_figure10_study(
     programs: Optional[List[SpecProgram]] = None,
     scale: Optional[int] = None,
+    jobs: int = 1,
 ) -> List[CheckBreakdown]:
+    from ..workloads.spec import SPEC_BY_NAME
+    from .parallel import figure10_worker, parallel_map
+
     programs = programs or SPEC_TABLE2_ROWS
+    if jobs > 1 and all(
+        SPEC_BY_NAME.get(spec.name) is spec for spec in programs
+    ):
+        return parallel_map(
+            figure10_worker, [(spec.name, scale) for spec in programs], jobs
+        )
     return [measure_check_breakdown(spec, scale) for spec in programs]
 
 
@@ -121,21 +131,18 @@ FIGURE11_TOOLS = ["Native", "GiantSan", "ASan"]
 def run_figure11_study(
     sizes: Optional[List[int]] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    jobs: int = 1,
 ) -> TraversalStudy:
     """The three traversal patterns over the buffer-size sweep."""
+    from .parallel import figure11_worker, parallel_map
+
     sizes = sizes or FIGURE11_SIZES
+    payloads = [
+        (pattern_index, size, cost_model)
+        for pattern_index in range(len(FIGURE11_PATTERNS))
+        for size in sizes
+    ]
     study = TraversalStudy()
-    for pattern in FIGURE11_PATTERNS:
-        for size in sizes:
-            program = pattern.build(size)
-            for tool in FIGURE11_TOOLS:
-                result = Session(tool, cost_model=cost_model).run(program)
-                study.points.append(
-                    TraversalPoint(
-                        pattern=pattern.name,
-                        size=size,
-                        tool=tool,
-                        cycles=result.total_cycles(cost_model),
-                    )
-                )
+    for points in parallel_map(figure11_worker, payloads, jobs):
+        study.points.extend(points)
     return study

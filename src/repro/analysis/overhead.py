@@ -78,12 +78,30 @@ def run_overhead_study(
     programs: Optional[List[SpecProgram]] = None,
     scale: Optional[int] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    jobs: int = 1,
 ) -> OverheadStudy:
-    """The full Table 2 sweep (24 programs by default)."""
+    """The full Table 2 sweep (24 programs by default).
+
+    ``jobs > 1`` fans the per-program rows out across worker processes
+    (row order and values are identical to the sequential run); custom
+    ``programs`` outside the canonical registry always run inline.
+    """
+    from ..workloads.spec import SPEC_BY_NAME
+    from .parallel import overhead_worker, parallel_map
+
     tools = tools or PERFORMANCE_TOOLS
     programs = programs or SPEC_TABLE2_ROWS
-    rows = [
-        measure_program(spec, tools, scale=scale, cost_model=cost_model)
-        for spec in programs
-    ]
+    if jobs > 1 and all(
+        SPEC_BY_NAME.get(spec.name) is spec for spec in programs
+    ):
+        rows = parallel_map(
+            overhead_worker,
+            [(spec.name, tools, scale, cost_model) for spec in programs],
+            jobs,
+        )
+    else:
+        rows = [
+            measure_program(spec, tools, scale=scale, cost_model=cost_model)
+            for spec in programs
+        ]
     return OverheadStudy(rows=rows, tools=tools)

@@ -1,0 +1,169 @@
+"""Process-parallel experiment runner.
+
+The (proxy × sanitizer) matrices behind Tables 2-5 and Figures 10/11 are
+embarrassingly parallel: every cell is an isolated Session over a freshly
+built program.  This module fans work units out across worker processes
+and merges results back in deterministic submission order, so parallel
+runs are byte-identical to ``--jobs 1`` runs.
+
+Work units are dispatched *by name/index* into the canonical registries
+(:data:`repro.workloads.spec.SPEC_BY_NAME` and friends) rather than by
+pickling built programs: a worker rebuilds its program locally, which
+keeps payloads tiny and sidesteps pickling closures.  Results travel
+back as plain dataclasses (RunResult, CheckStats, ErrorLog), which
+pickle cleanly.
+
+Callers pass ``jobs``: ``1`` (the default everywhere) runs inline with
+no multiprocessing machinery at all; anything larger uses a process
+pool.  Custom program lists that are not in the canonical registries
+fall back to inline execution since workers cannot rebuild them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``--jobs`` defaults: the CPU count."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def parallel_map(
+    worker: Callable[[T], U], payloads: Sequence[T], jobs: Optional[int]
+) -> List[U]:
+    """Ordered map over ``payloads`` with up to ``jobs`` processes.
+
+    ``jobs`` of None/0/1 (or a single payload) runs inline.  Workers
+    must be module-level functions and payloads picklable.  Results come
+    back in submission order regardless of completion order, which is
+    what makes parallel table sweeps deterministic.
+    """
+    payloads = list(payloads)
+    jobs = max(int(jobs or 1), 1)
+    if jobs == 1 or len(payloads) <= 1:
+        return [worker(payload) for payload in payloads]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork: workers re-import
+        context = multiprocessing.get_context()
+    with context.Pool(processes=min(jobs, len(payloads))) as pool:
+        return pool.map(worker, payloads, chunksize=1)
+
+
+def chunk_ranges(total: int, jobs: int) -> List[tuple]:
+    """Split ``range(total)`` into at most ``jobs`` contiguous spans."""
+    jobs = max(min(jobs, total), 1)
+    base, extra = divmod(total, jobs)
+    spans = []
+    start = 0
+    for worker_index in range(jobs):
+        size = base + (1 if worker_index < extra else 0)
+        if size:
+            spans.append((start, start + size))
+            start += size
+    return spans
+
+
+# ----------------------------------------------------------------------
+# module-level workers (must be importable for the process pool)
+# ----------------------------------------------------------------------
+def overhead_worker(payload):
+    """One Table 2 row: run one SPEC proxy under every tool."""
+    name, tools, scale, cost_model = payload
+    from ..workloads.spec import SPEC_BY_NAME
+    from .overhead import measure_program
+
+    return measure_program(
+        SPEC_BY_NAME[name], tools, scale=scale, cost_model=cost_model
+    )
+
+
+def figure10_worker(payload):
+    """One Figure 10 bar: GiantSan check breakdown for one proxy."""
+    name, scale = payload
+    from ..workloads.spec import SPEC_BY_NAME
+    from .figures import measure_check_breakdown
+
+    return measure_check_breakdown(SPEC_BY_NAME[name], scale)
+
+
+def figure11_worker(payload):
+    """One Figure 11 cell: one traversal pattern at one size, all tools."""
+    pattern_index, size, cost_model = payload
+    from ..runtime import Session
+    from ..workloads.traversals import FIGURE11_PATTERNS
+    from .figures import FIGURE11_TOOLS, TraversalPoint
+
+    pattern = FIGURE11_PATTERNS[pattern_index]
+    program = pattern.build(size)
+    points = []
+    for tool in FIGURE11_TOOLS:
+        result = Session(tool, cost_model=cost_model).run(program)
+        points.append(
+            TraversalPoint(
+                pattern=pattern.name,
+                size=size,
+                tool=tool,
+                cycles=result.total_cycles(cost_model),
+            )
+        )
+    return points
+
+
+def juliet_worker(payload):
+    """One contiguous slice of the Juliet suite under every tool."""
+    lo, hi, tools = payload
+    from ..runtime import Session
+    from ..workloads.juliet import generate_juliet_suite
+
+    cases = generate_juliet_suite()[lo:hi]
+    outcomes = []
+    for offset, case in enumerate(cases):
+        row = {
+            tool: bool(Session(tool).run(case.program).errors)
+            for tool in tools
+        }
+        outcomes.append((lo + offset, row))
+    return outcomes
+
+
+def linux_flaw_worker(payload):
+    """One Table 4 row: run one CVE scenario under every tool."""
+    scenario_index, tools = payload
+    from ..runtime import Session
+    from ..workloads.linux_flaw import TABLE4_SCENARIOS
+
+    scenario = TABLE4_SCENARIOS[scenario_index]
+    row = {
+        tool: bool(Session(tool).run(scenario.build()).errors)
+        for tool in tools
+    }
+    return scenario.cve_id, row
+
+
+def magma_worker(payload):
+    """One Table 5 row: one Magma project under every configuration."""
+    (project_index,) = payload
+    from ..runtime import Session
+    from ..workloads.magma import (
+        TABLE5_CONFIGS,
+        TABLE5_PROJECTS,
+        generate_project_cases,
+    )
+
+    project = TABLE5_PROJECTS[project_index]
+    cases = generate_project_cases(project)
+    per_config = {}
+    for label, tool, kwargs in TABLE5_CONFIGS:
+        count = 0
+        for case in cases:
+            if Session(tool, **kwargs).run(case.build()).errors:
+                count += 1
+        per_config[label] = count
+    return project.name, per_config, project.total

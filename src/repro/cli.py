@@ -10,7 +10,11 @@ Usage (installed as ``python -m repro``)::
     python -m repro table5
     python -m repro fig10 --scale 2
     python -m repro fig11
+    python -m repro bench --jobs 4               # timed Table 2 sweep
     python -m repro demo                         # quickstart bug report
+
+Experiment sweeps accept ``--jobs N`` to fan cells out across worker
+processes; results are identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -40,7 +44,7 @@ def _cmd_table2(args) -> str:
     tools = list(PERFORMANCE_TOOLS)
     if args.ablation:
         tools += ABLATION_TOOLS
-    study = run_overhead_study(tools=tools, scale=args.scale)
+    study = run_overhead_study(tools=tools, scale=args.scale, jobs=args.jobs)
     if args.format == "csv":
         return to_csv(overhead_to_rows(study)).rstrip()
     if args.format == "json":
@@ -51,31 +55,53 @@ def _cmd_table2(args) -> str:
 def _cmd_table3(args) -> str:
     from .analysis import render_table3, run_juliet_study
 
-    return render_table3(run_juliet_study())
+    return render_table3(run_juliet_study(jobs=args.jobs))
 
 
 def _cmd_table4(args) -> str:
     from .analysis import render_table4, run_linux_flaw_study
 
-    return render_table4(run_linux_flaw_study())
+    return render_table4(run_linux_flaw_study(jobs=args.jobs))
 
 
 def _cmd_table5(args) -> str:
     from .analysis import render_table5, run_magma_study
 
-    return render_table5(run_magma_study())
+    return render_table5(run_magma_study(jobs=args.jobs))
 
 
 def _cmd_fig10(args) -> str:
     from .analysis import render_figure10, run_figure10_study
 
-    return render_figure10(run_figure10_study(scale=args.scale))
+    return render_figure10(run_figure10_study(scale=args.scale, jobs=args.jobs))
 
 
 def _cmd_fig11(args) -> str:
     from .analysis import render_figure11, run_figure11_study
 
-    return render_figure11(run_figure11_study())
+    return render_figure11(run_figure11_study(jobs=args.jobs))
+
+
+def _cmd_bench(args) -> str:
+    """Time the full Table 2 sweep; the wall-clock benchmark entry point."""
+    import time
+
+    from .analysis import PERFORMANCE_TOOLS, run_overhead_study
+    from .runtime import geometric_mean
+
+    started = time.perf_counter()
+    study = run_overhead_study(
+        tools=list(PERFORMANCE_TOOLS), scale=args.scale, jobs=args.jobs
+    )
+    elapsed = time.perf_counter() - started
+    lines = [
+        f"table2 sweep: {len(study.rows)} programs x "
+        f"{len(study.tools) + 1} tools, jobs={args.jobs}",
+        f"wall-clock: {elapsed:.2f}s",
+    ]
+    for tool, mean in study.geometric_means().items():
+        lines.append(f"  geomean {tool}: {mean * 100.0:.1f}%")
+    return "\n".join(lines)
 
 
 def _cmd_demo(args) -> str:
@@ -101,8 +127,20 @@ _COMMANDS = {
     "table5": (_cmd_table5, "Table 5: Magma redzone study"),
     "fig10": (_cmd_fig10, "Figure 10: check-type breakdown"),
     "fig11": (_cmd_fig11, "Figure 11: traversal patterns"),
+    "bench": (_cmd_bench, "Time the Table 2 sweep (wall-clock benchmark)"),
     "demo": (_cmd_demo, "Detect a bug and print an ASan-style report"),
 }
+
+#: Subcommands whose runners accept a ``--jobs`` worker count.
+_PARALLEL_COMMANDS = (
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig10",
+    "fig11",
+    "bench",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,12 +153,19 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list available experiments")
     for name, (_, help_text) in _COMMANDS.items():
         sub = subparsers.add_parser(name, help=help_text)
-        if name in ("table2", "fig10"):
+        if name in ("table2", "fig10", "bench"):
             sub.add_argument(
                 "--scale",
                 type=int,
                 default=None,
                 help="iteration-scale override (default: per-program)",
+            )
+        if name in _PARALLEL_COMMANDS:
+            sub.add_argument(
+                "--jobs",
+                type=int,
+                default=1,
+                help="worker processes for the sweep (default 1: inline)",
             )
         if name == "table2":
             sub.add_argument(

@@ -7,6 +7,7 @@ from .cost_model import (
     SanitizerCosts,
     geometric_mean,
 )
+from .fastpath import LoopPlan, analyze_loop, fastpath_enabled_default
 from .interpreter import BudgetExceeded, Interpreter, RunResult, run_program
 from .session import Session, run_with_tools
 
@@ -16,6 +17,9 @@ __all__ = [
     "NativeCosts",
     "SanitizerCosts",
     "geometric_mean",
+    "LoopPlan",
+    "analyze_loop",
+    "fastpath_enabled_default",
     "BudgetExceeded",
     "Interpreter",
     "RunResult",

@@ -49,6 +49,7 @@ from ..ir.nodes import (
 from ..ir.program import Function
 from ..passes.instrument import InstrumentedProgram
 from ..sanitizers.base import AccessCache, CheckStats, Sanitizer
+from . import fastpath as _fastpath
 from .cost_model import CostModel, DEFAULT_COST_MODEL, NativeCosts
 from .intrinsics import guarded_memcpy, guarded_memset, guarded_strcpy
 
@@ -110,6 +111,7 @@ class Interpreter:
         sanitizer: Sanitizer,
         native_costs: NativeCosts = NativeCosts(),
         max_instructions: int = 50_000_000,
+        fastpath: Optional[bool] = None,
     ):
         self.san = sanitizer
         # only tag-based tools need address resolution before raw access
@@ -118,6 +120,11 @@ class Interpreter:
         )
         self.costs = native_costs
         self.max_instructions = max_instructions
+        #: Superblock fast path (see :mod:`repro.runtime.fastpath`);
+        #: None resolves from the ``REPRO_FASTPATH`` environment toggle.
+        self.fastpath = (
+            _fastpath.fastpath_enabled_default() if fastpath is None else fastpath
+        )
         self.native_cycles = 0.0
         self.instructions = 0
         self.hardware_faults = 0
@@ -351,6 +358,8 @@ class Interpreter:
             values = range(end - step, start - 1, -step)
         else:
             values = range(start, end, step)
+        if self.fastpath and _fastpath.try_execute(self, loop, values, env):
+            return
         body = loop.body
         for value in values:
             env[loop.var] = value

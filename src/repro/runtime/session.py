@@ -9,22 +9,44 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import os
+
 from ..ir.program import Program
-from ..passes.instrument import InstrumentedProgram, instrument
+from ..passes.instrument import (
+    InstrumentedProgram,
+    instrument,
+    instrument_cached,
+)
 from ..sanitizers import SANITIZER_FACTORIES
 from ..sanitizers.base import Sanitizer
 from .cost_model import CostModel, DEFAULT_COST_MODEL
 from .interpreter import Interpreter, RunResult
 
 
+def _memoize_default() -> bool:
+    return os.environ.get("REPRO_INSTRUMENT_CACHE", "1").lower() not in (
+        "0",
+        "false",
+        "off",
+    )
+
+
 class Session:
-    """One tool + one program, ready to execute."""
+    """One tool + one program, ready to execute.
+
+    ``fastpath`` toggles the superblock fast path (None = the
+    ``REPRO_FASTPATH`` process default); ``memoize`` reuses memoized
+    instrumentation across sessions (None = the ``REPRO_INSTRUMENT_CACHE``
+    process default).  Both are result-invariant accelerations.
+    """
 
     def __init__(
         self,
         tool: str | Sanitizer,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         max_instructions: int = 50_000_000,
+        fastpath: bool | None = None,
+        memoize: bool | None = None,
         **sanitizer_kwargs,
     ):
         if isinstance(tool, Sanitizer):
@@ -44,8 +66,12 @@ class Session:
             self.sanitizer = factory(**sanitizer_kwargs)
         self.cost_model = cost_model
         self.max_instructions = max_instructions
+        self.fastpath = fastpath
+        self.memoize = _memoize_default() if memoize is None else memoize
 
     def instrument(self, program: Program) -> InstrumentedProgram:
+        if self.memoize:
+            return instrument_cached(program, tool=self.sanitizer)
         return instrument(program, tool=self.sanitizer)
 
     def run(
@@ -54,7 +80,9 @@ class Session:
         """Instrument and execute ``program`` under this session's tool."""
         iprogram = self.instrument(program)
         interpreter = Interpreter(
-            self.sanitizer, max_instructions=self.max_instructions
+            self.sanitizer,
+            max_instructions=self.max_instructions,
+            fastpath=self.fastpath,
         )
         return interpreter.run(iprogram, args)
 

@@ -85,6 +85,31 @@ class CheckStats:
         return result
 
 
+@dataclass
+class FoldResult:
+    """Outcome of folding a loop's checks without running them.
+
+    ``stat_deltas`` maps :class:`CheckStats` field names to the exact
+    amount the per-iteration execution would have added; ``fast_only``
+    and ``full_check`` are the Figure 10 classifications the interpreter
+    would have recorded at the check sites.
+    """
+
+    stat_deltas: Dict[str, float] = field(default_factory=dict)
+    fast_only: int = 0
+    full_check: int = 0
+
+    def merge(self, other: "FoldResult") -> None:
+        for name, delta in other.stat_deltas.items():
+            self.stat_deltas[name] = self.stat_deltas.get(name, 0) + delta
+        self.fast_only += other.fast_only
+        self.full_check += other.full_check
+
+    def apply(self, stats: CheckStats) -> None:
+        for name, delta in self.stat_deltas.items():
+            setattr(stats, name, getattr(stats, name) + delta)
+
+
 @dataclass(frozen=True)
 class Capabilities:
     """What the tool's instrumentation pipeline may rely on.
@@ -242,6 +267,44 @@ class Sanitizer:
         tools that ignore anchors check only ``[start, end)``.
         """
         return True
+
+    # ------------------------------------------------------------------
+    # bulk-check folding (superblock fast path)
+    # ------------------------------------------------------------------
+    # The fast path (:mod:`repro.runtime.fastpath`) executes an eligible
+    # loop as one superblock.  Before doing so it asks the sanitizer to
+    # *fold* the loop's per-iteration checks: decide, without mutating
+    # any state, whether every iteration's check passes, and if so return
+    # the exact stat deltas the per-iteration execution would have
+    # accumulated.  Returning ``None`` means "cannot fold" (ineligible
+    # shape, or at least one check would fail/report) and the interpreter
+    # falls back to per-iteration execution — so error paths always run
+    # through the reference implementation.
+
+    def fold_access_checks(
+        self,
+        count: int,
+        address: int,
+        stride: int,
+        width: int,
+        access: AccessType,
+    ) -> Optional["FoldResult"]:
+        """Fold ``count`` instruction checks at ``address + i * stride``."""
+        return None
+
+    def fold_region_checks(
+        self,
+        count: int,
+        base: int,
+        start: int,
+        start_stride: int,
+        end: int,
+        end_stride: int,
+        access: AccessType,
+        use_anchor: bool,
+    ) -> Optional["FoldResult"]:
+        """Fold ``count`` region checks of ``[start + i*s, end + i*e)``."""
+        return None
 
     def make_cache(self) -> "AccessCache":
         """A per-pointer history cache; no-op unless the tool supports it."""

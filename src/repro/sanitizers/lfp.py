@@ -28,7 +28,7 @@ from ..errors import AccessType, ErrorKind
 from ..memory import low_fat_policy
 from ..memory.allocator import Allocation
 from ..memory.stack import StackFrame
-from .base import AccessCache, Capabilities, Sanitizer
+from .base import AccessCache, Capabilities, FoldResult, Sanitizer
 
 #: Effective extra cycles per check for the base-derivation arithmetic —
 #: a few ALU ops that pipeline well next to the access itself.
@@ -207,6 +207,70 @@ class LFP(Sanitizer):
         return self.check_region(
             base + offset, base + offset + width, access, anchor=base
         )
+
+    # ------------------------------------------------------------------
+    # bulk-check folding (superblock fast path)
+    # ------------------------------------------------------------------
+    def fold_region_checks(
+        self,
+        count: int,
+        base: int,
+        start: int,
+        start_stride: int,
+        end: int,
+        end_stride: int,
+        access: AccessType,
+        use_anchor: bool,
+    ) -> Optional[FoldResult]:
+        """Fold ``count`` anchored region checks over a strided walk.
+
+        LFP's per-check work is O(1) and depends only on the anchor's
+        region and the extreme endpoints, so when every iteration's
+        bounds test passes the counters follow arithmetically.  Any
+        iteration that would report (or take a different stats path)
+        declines, deferring to the per-iteration reference.
+        """
+        if count <= 0:
+            return FoldResult()
+        if not use_anchor:
+            return None
+        last_start = start + (count - 1) * start_stride
+        last_end = end + (count - 1) * end_stride
+        # width is linear in the iteration index: its minimum is at an
+        # endpoint.  A non-positive width anywhere would take the
+        # early-return (stat-free) path for that iteration only: decline.
+        if min(end - start, last_end - last_start) <= 0:
+            return None
+        per_check = FoldResult(
+            stat_deltas={
+                "checks_executed": count,
+                "instruction_checks": count,
+                "extra_instructions": CHECK_ARITHMETIC_OVERHEAD * count,
+            }
+        )
+        arena = self.space.arena_of(base)
+        if arena == "null":
+            return None  # every iteration reports: fall back
+        if arena != "heap":
+            per_check.full_check = count
+            return per_check
+        allocation = self._lookup(base)
+        if allocation is None:
+            allocation = self._find_region(base)
+        if allocation is None:
+            if base in self._freed_bases:
+                return None  # use-after-free reports: fall back
+            per_check.full_check = count
+            return per_check
+        # Region found: each check charges one fast check, then passes
+        # iff the extreme bounds stay inside the size class.
+        if min(start, last_start) < allocation.base:
+            return None
+        if max(end, last_end) > allocation.usable_end:
+            return None
+        per_check.stat_deltas["fast_checks"] = count
+        per_check.fast_only = count
+        return per_check
 
     # ------------------------------------------------------------------
     # helpers

@@ -77,3 +77,91 @@ def first_poison_code(
     if ok:
         return None
     return shadow.load(segment_index(fault))
+
+
+# ----------------------------------------------------------------------
+# bulk scanning (segment-folding analogue for the simulator itself)
+# ----------------------------------------------------------------------
+# The per-segment walk above is the reference semantics.  The bulk scan
+# below answers the same question over a whole shadow *slice* with two
+# bytes-level primitives: ``translate`` maps every code to a one-byte
+# full/partial flag, and ``find`` locates the first non-full segment.
+# Only that single segment then needs the per-code arithmetic, so a
+# region of N segments costs O(N) C-level work instead of N Python-level
+# iterations.  Property tests cross-validate it against
+# :func:`region_is_addressable` on randomized shadow states.
+
+#: 256-entry tables per prefix function, built once and memoized.
+_TABLE_CACHE: dict = {}
+
+
+def scan_tables(prefix_of: PrefixFn):
+    """``(prefix_table, full_flags)`` for one encoding's prefix function.
+
+    ``prefix_table[code]`` is the addressable prefix (0..8) of a segment
+    holding ``code``; ``full_flags`` maps fully-addressable codes to
+    ``0x00`` and everything else to ``0x01`` so ``translate`` + ``find``
+    can locate the first non-full segment of a slice.
+    """
+    tables = _TABLE_CACHE.get(prefix_of)
+    if tables is None:
+        prefixes = bytes(
+            min(prefix_of(code), SEGMENT_SIZE) for code in range(256)
+        )
+        full_flags = bytes(
+            0 if prefixes[code] >= SEGMENT_SIZE else 1 for code in range(256)
+        )
+        tables = (prefixes, full_flags)
+        _TABLE_CACHE[prefix_of] = tables
+    return tables
+
+
+def scan_codes(
+    codes: bytes,
+    first_index: int,
+    start: int,
+    end: int,
+    prefix_of: PrefixFn,
+) -> Tuple[bool, Optional[int], int]:
+    """Bulk equivalent of :func:`region_is_addressable` over a slice.
+
+    ``codes`` must cover the segments of ``[start, end)`` starting at
+    segment ``first_index``.  Returns ``(ok, faulting_address,
+    segments_visited)`` where ``segments_visited`` is exactly the number
+    of segments the reference walk would have examined (every full
+    segment up to and including the stopping one).
+    """
+    if end <= start:
+        return True, None, 0
+    prefixes, full_flags = scan_tables(prefix_of)
+    count = segment_index(end - 1) - first_index + 1
+    pos = codes.translate(full_flags).find(1, 0, count)
+    if pos < 0:
+        return True, None, count
+    # Every segment before ``pos`` is fully addressable; replay the
+    # reference walk's arithmetic on the first non-full segment.
+    index = first_index + pos
+    segment_base = index * SEGMENT_SIZE
+    address = start if pos == 0 else segment_base
+    prefix = prefixes[codes[pos]]
+    if address - segment_base >= prefix:
+        return False, address, pos + 1
+    segment_end = segment_base + SEGMENT_SIZE
+    addressable_until = segment_base + prefix
+    if addressable_until < min(end, segment_end):
+        return False, addressable_until, pos + 1
+    # The partial prefix covers everything still needed, which is only
+    # possible when this is the region's last segment: done.
+    return True, None, pos + 1
+
+
+def bulk_region_is_addressable(
+    shadow: ShadowMemory, start: int, end: int, prefix_of: PrefixFn
+) -> Tuple[bool, Optional[int]]:
+    """Drop-in fast replacement for :func:`region_is_addressable`."""
+    if end <= start:
+        return True, None
+    first = segment_index(start)
+    codes = shadow.region(first, segment_index(end - 1) - first + 1)
+    ok, fault, _ = scan_codes(codes, first, start, end, prefix_of)
+    return ok, fault

@@ -40,18 +40,28 @@ class ShadowMemory:
         """Write one shadow byte."""
         self._shadow[index] = code & 0xFF
 
-    def fill(self, index: int, count: int, code: int) -> None:
-        """Set ``count`` consecutive shadow bytes to ``code``."""
+    def _range_check(self, index: int, count: int) -> None:
         if count < 0:
             raise ValueError("count must be non-negative")
+        if index < 0 or index + count > len(self._shadow):
+            raise IndexError(
+                f"shadow range [{index}, {index + count}) leaves the "
+                f"shadow array of {len(self._shadow)} bytes"
+            )
+
+    def fill(self, index: int, count: int, code: int) -> None:
+        """Set ``count`` consecutive shadow bytes to ``code``."""
+        self._range_check(index, count)
         self._shadow[index : index + count] = bytes([code & 0xFF]) * count
 
     def write_codes(self, index: int, codes: bytes) -> None:
         """Write a pre-computed code sequence (used by segment folding)."""
+        self._range_check(index, len(codes))
         self._shadow[index : index + len(codes)] = codes
 
     def region(self, index: int, count: int) -> bytes:
         """Snapshot of ``count`` shadow bytes starting at ``index``."""
+        self._range_check(index, count)
         return bytes(self._shadow[index : index + count])
 
     def codes_for_range(self, address: int, size: int) -> bytes:

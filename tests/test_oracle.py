@@ -1,11 +1,18 @@
 """Tests for the byte-exact addressability oracle."""
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.memory import HeapAllocator
+from repro.memory.layout import SEGMENT_SIZE, segment_index, segment_offset
 from repro.shadow import ShadowMemory, asan_encoding, giantsan_encoding
 from repro.shadow.oracle import (
     asan_region_is_addressable,
+    bulk_region_is_addressable,
     first_poison_code,
     giantsan_region_is_addressable,
+    region_is_addressable,
+    scan_codes,
 )
 
 
@@ -93,3 +100,86 @@ class TestOracleGiantSan:
             )
             is None
         )
+
+
+# ----------------------------------------------------------------------
+# bulk scan cross-validation (the fast path's region primitive)
+# ----------------------------------------------------------------------
+def _reference_walk_with_count(shadow, start, end, prefix_of):
+    """region_is_addressable plus the number of segments examined."""
+    if end <= start:
+        return True, None, 0
+    visited = 0
+    address = start
+    while address < end:
+        index = segment_index(address)
+        visited += 1
+        prefix = prefix_of(shadow.load(index))
+        if segment_offset(address) >= prefix:
+            return False, address, visited
+        segment_end = (index + 1) * SEGMENT_SIZE
+        addressable_until = index * SEGMENT_SIZE + prefix
+        if addressable_until < min(end, segment_end):
+            return False, addressable_until, visited
+        address = segment_end
+    return True, None, visited
+
+
+_ENCODINGS = [
+    asan_encoding.addressable_prefix,
+    giantsan_encoding.addressable_prefix,
+]
+
+_SEGMENTS = 64  # shadow bytes in the randomized arena
+
+
+@st.composite
+def _shadow_states(draw):
+    """A random shadow array plus a random in-bounds region."""
+    codes = draw(
+        st.binary(min_size=_SEGMENTS, max_size=_SEGMENTS)
+    )
+    shadow = ShadowMemory(_SEGMENTS * SEGMENT_SIZE)
+    shadow.write_codes(0, codes)
+    total = _SEGMENTS * SEGMENT_SIZE
+    start = draw(st.integers(min_value=0, max_value=total - 1))
+    end = draw(st.integers(min_value=start, max_value=total))
+    return shadow, start, end
+
+
+class TestBulkScanCrossValidation:
+    @settings(max_examples=300, deadline=None)
+    @given(state=_shadow_states(), encoding=st.sampled_from(_ENCODINGS))
+    def test_bulk_matches_reference(self, state, encoding):
+        shadow, start, end = state
+        assert bulk_region_is_addressable(
+            shadow, start, end, encoding
+        ) == region_is_addressable(shadow, start, end, encoding)
+
+    @settings(max_examples=300, deadline=None)
+    @given(state=_shadow_states(), encoding=st.sampled_from(_ENCODINGS))
+    def test_scan_codes_visited_count(self, state, encoding):
+        """The bulk scan charges exactly the reference walk's loads."""
+        shadow, start, end = state
+        ok, fault, visited = _reference_walk_with_count(
+            shadow, start, end, encoding
+        )
+        if end > start:
+            first = segment_index(start)
+            codes = shadow.region(first, segment_index(end - 1) - first + 1)
+        else:
+            first, codes = 0, b""
+        assert scan_codes(codes, first, start, end, encoding) == (
+            ok,
+            fault,
+            visited,
+        )
+
+    def test_empty_region(self):
+        shadow = ShadowMemory(8 * SEGMENT_SIZE)
+        for encoding in _ENCODINGS:
+            assert bulk_region_is_addressable(shadow, 40, 40, encoding) == (
+                True,
+                None,
+            )
+            assert scan_codes(b"", 0, 40, 40, encoding) == (True, None, 0)
