@@ -104,6 +104,58 @@ def _cmd_bench(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_fuzz(args) -> str:
+    """Differential fuzzing sweep: all tools, fastpath on and off."""
+    from .analysis.parallel import chunk_ranges, parallel_map
+    from .fuzz.driver import FuzzSummary, fuzz_worker, run_case
+    from .fuzz.generator import case_seed_for, generate_case
+
+    if args.repro is not None:
+        case = generate_case(args.repro, bug_probability=args.bug_probability)
+        report = run_case(case)
+        lines = [case.describe(), ""]
+        if report.clean:
+            lines.append(
+                f"case clean ({report.invariant_checks} invariant checks)"
+            )
+            return "\n".join(lines)
+        for divergence in report.divergences:
+            lines.append(divergence.render())
+        print("\n".join(lines))
+        raise SystemExit(1)
+
+    payloads = [
+        (args.seed, start, stop, args.bug_probability, not args.no_shrink)
+        for start, stop in chunk_ranges(args.iterations, args.jobs)
+    ]
+    summary = FuzzSummary()
+    for partial in parallel_map(fuzz_worker, payloads, jobs=args.jobs):
+        summary.merge(partial)
+    lines = [
+        f"fuzzed {summary.cases} cases (seed={args.seed}, "
+        f"{summary.buggy_cases} with injected bugs) under all tools, "
+        f"fastpath on+off",
+        f"invariant checks passed: {summary.invariant_checks}",
+        f"divergences: {len(summary.findings)}",
+    ]
+    if not summary.findings:
+        return "\n".join(lines)
+    seen_repro = set()
+    for finding in summary.findings:
+        lines.append(
+            f"  seed={finding['seed']} tool={finding['tool']} "
+            f"[{finding['kind']}] {finding['detail']}"
+        )
+        if finding["seed"] not in seen_repro:
+            seen_repro.add(finding["seed"])
+            lines.append("  minimized reproducer:")
+            lines.extend(
+                f"    {line}" for line in finding["repro"].splitlines()
+            )
+    print("\n".join(lines))
+    raise SystemExit(1)
+
+
 def _cmd_demo(args) -> str:
     from . import ProgramBuilder, Session
     from .reporting import format_all_reports
@@ -128,6 +180,7 @@ _COMMANDS = {
     "fig10": (_cmd_fig10, "Figure 10: check-type breakdown"),
     "fig11": (_cmd_fig11, "Figure 11: traversal patterns"),
     "bench": (_cmd_bench, "Time the Table 2 sweep (wall-clock benchmark)"),
+    "fuzz": (_cmd_fuzz, "Differential fuzz: all tools, fastpath on+off"),
     "demo": (_cmd_demo, "Detect a bug and print an ASan-style report"),
 }
 
@@ -140,6 +193,7 @@ _PARALLEL_COMMANDS = (
     "fig10",
     "fig11",
     "bench",
+    "fuzz",
 )
 
 
@@ -178,6 +232,37 @@ def build_parser() -> argparse.ArgumentParser:
                 choices=["table", "csv", "json"],
                 default="table",
                 help="output format (default: the paper's table layout)",
+            )
+        if name == "fuzz":
+            sub.add_argument(
+                "--iterations",
+                type=int,
+                default=200,
+                help="number of generated cases (default 200)",
+            )
+            sub.add_argument(
+                "--seed",
+                type=int,
+                default=0,
+                help="base seed; case i uses case_seed_for(seed, i)",
+            )
+            sub.add_argument(
+                "--bug-probability",
+                type=float,
+                default=0.55,
+                help="fraction of cases with an injected bug (default 0.55)",
+            )
+            sub.add_argument(
+                "--repro",
+                type=int,
+                default=None,
+                metavar="CASE_SEED",
+                help="re-run one case by its *case* seed and print it",
+            )
+            sub.add_argument(
+                "--no-shrink",
+                action="store_true",
+                help="report diverging cases without minimizing them",
             )
         if name == "demo":
             sub.add_argument(

@@ -1,0 +1,234 @@
+"""Differential driver: one case, every tool, both execution paths.
+
+For each generated case the driver runs the same program under every
+tool in :data:`~repro.fuzz.expectations.ALL_TOOLS`, with the superblock
+fast path ON and OFF, and cross-checks four ways:
+
+1. **fastpath** — the ON/OFF observables (cycles, instruction counts,
+   CheckStats, protection categories, return value, error log) must be
+   byte-identical per tool;
+2. **oracle** — the reference-path verdict must satisfy the case's
+   ground-truth :func:`~repro.fuzz.expectations.expected_verdict`;
+3. **invariant** — the :class:`~repro.fuzz.invariants.ShadowInvariantChecker`
+   attached to every run must record zero violations;
+4. **cross-tool** — bug-free cases must return the same checksum under
+   every tool (all tools interpret the same program over zeroed memory).
+
+Anything that trips becomes a :class:`Divergence`; the CLI shrinks those
+cases to minimal reproducers (see :mod:`repro.fuzz.shrinker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..runtime.session import Session
+from .expectations import ALL_TOOLS, expected_verdict, verdict_matches
+from .generator import FuzzCase, build_case, case_seed_for, generate_case
+from .invariants import ShadowInvariantChecker
+
+#: Generated programs are tiny; a tight budget turns any accidental
+#: interpreter runaway into a visible crash-divergence instead of a hang.
+CASE_MAX_INSTRUCTIONS = 2_000_000
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One explained-away-able-by-nobody discrepancy."""
+
+    case_seed: int
+    tool: str  # "*" for cross-tool findings
+    kind: str  # fastpath | oracle | invariant | cross-tool | crash
+    detail: str
+
+    def render(self) -> str:
+        return f"seed={self.case_seed} tool={self.tool} [{self.kind}] {self.detail}"
+
+
+@dataclass
+class CaseReport:
+    """Everything the driver learned about one case."""
+
+    case: FuzzCase
+    divergences: List[Divergence]
+    invariant_checks: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences
+
+
+def observables(result) -> dict:
+    """The fastpath-equivalence surface (same as the directed suite)."""
+    return {
+        "native_cycles": result.native_cycles,
+        "instructions": result.instructions_executed,
+        "return_value": result.return_value,
+        "stats": result.stats.as_dict(),
+        "protection": dict(result.protection_counts),
+        "errors": [(e.kind, e.address) for e in result.errors],
+    }
+
+
+def _run_one(
+    program, tool: str, fastpath: bool, check_invariants: bool
+) -> Tuple[object, Optional[ShadowInvariantChecker]]:
+    session = Session(
+        tool,
+        fastpath=fastpath,
+        memoize=False,
+        max_instructions=CASE_MAX_INSTRUCTIONS,
+    )
+    checker = (
+        ShadowInvariantChecker.attach(session.sanitizer)
+        if check_invariants
+        else None
+    )
+    return session.run(program), checker
+
+
+def run_case(
+    case: FuzzCase,
+    tools: Sequence[str] = ALL_TOOLS,
+    check_invariants: bool = True,
+) -> CaseReport:
+    """Run ``case`` through the full differential matrix."""
+    divergences: List[Divergence] = []
+    invariant_checks = 0
+    program = build_case(case)
+    returns: Dict[str, int] = {}
+    for tool in tools:
+        try:
+            off, checker_off = _run_one(program, tool, False, check_invariants)
+            on, checker_on = _run_one(program, tool, True, check_invariants)
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            divergences.append(
+                Divergence(
+                    case.seed, tool, "crash",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+
+        obs_off, obs_on = observables(off), observables(on)
+        if obs_off != obs_on:
+            diff_keys = sorted(
+                key for key in obs_off if obs_off[key] != obs_on[key]
+            )
+            divergences.append(
+                Divergence(
+                    case.seed, tool, "fastpath",
+                    f"on/off observables differ in {diff_keys}",
+                )
+            )
+
+        for checker in (checker_off, checker_on):
+            if checker is None:
+                continue
+            invariant_checks += checker.checks_run
+            for violation in checker.violations:
+                divergences.append(
+                    Divergence(case.seed, tool, "invariant", violation)
+                )
+
+        expectation = expected_verdict(tool, case.bug)
+        errors = off.errors
+        mismatch = verdict_matches(
+            expectation,
+            reported=bool(errors),
+            any_temporal=any(e.kind.is_temporal for e in errors),
+            any_spatial=any(e.kind.is_spatial for e in errors),
+        )
+        if mismatch is not None:
+            seen = ", ".join(sorted({e.kind.value for e in errors})) or "none"
+            bug_kind = case.bug.kind if case.bug else "none"
+            divergences.append(
+                Divergence(
+                    case.seed, tool, "oracle",
+                    f"{mismatch}; bug={bug_kind}, reports=[{seen}]",
+                )
+            )
+        returns[tool] = off.return_value
+
+    if case.bug is None and len(set(returns.values())) > 1:
+        divergences.append(
+            Divergence(
+                case.seed, "*", "cross-tool",
+                f"clean-case return values differ: {returns}",
+            )
+        )
+    return CaseReport(case, divergences, invariant_checks)
+
+
+def divergence_signature(report: CaseReport) -> frozenset:
+    """What the shrinker must preserve: the set of (tool, kind) pairs."""
+    return frozenset((d.tool, d.kind) for d in report.divergences)
+
+
+# ----------------------------------------------------------------------
+# batch running + the process-pool worker
+# ----------------------------------------------------------------------
+@dataclass
+class FuzzSummary:
+    """Aggregated outcome of a fuzzing run."""
+
+    cases: int = 0
+    buggy_cases: int = 0
+    invariant_checks: int = 0
+    findings: List[dict] = None  # [{seed, tool, kind, detail, repro}]
+
+    def __post_init__(self):
+        if self.findings is None:
+            self.findings = []
+
+    def merge(self, other: "FuzzSummary") -> None:
+        self.cases += other.cases
+        self.buggy_cases += other.buggy_cases
+        self.invariant_checks += other.invariant_checks
+        self.findings.extend(other.findings)
+
+
+def fuzz_span(
+    seed: int,
+    start: int,
+    stop: int,
+    bug_probability: float = 0.55,
+    shrink: bool = True,
+    tools: Sequence[str] = ALL_TOOLS,
+) -> FuzzSummary:
+    """Fuzz case indices ``[start, stop)`` for the base ``seed``."""
+    from .shrinker import shrink_case  # local: avoids an import cycle
+
+    summary = FuzzSummary()
+    for index in range(start, stop):
+        case = generate_case(
+            case_seed_for(seed, index), bug_probability=bug_probability
+        )
+        summary.cases += 1
+        if case.bug is not None:
+            summary.buggy_cases += 1
+        report = run_case(case, tools=tools)
+        summary.invariant_checks += report.invariant_checks
+        if report.clean:
+            continue
+        reduced = shrink_case(case, tools=tools) if shrink else case
+        for divergence in report.divergences:
+            summary.findings.append(
+                {
+                    "seed": divergence.case_seed,
+                    "tool": divergence.tool,
+                    "kind": divergence.kind,
+                    "detail": divergence.detail,
+                    "repro": reduced.describe(),
+                }
+            )
+    return summary
+
+
+def fuzz_worker(payload) -> FuzzSummary:
+    """Module-level worker for :func:`repro.analysis.parallel.parallel_map`."""
+    seed, start, stop, bug_probability, shrink = payload
+    return fuzz_span(
+        seed, start, stop, bug_probability=bug_probability, shrink=shrink
+    )

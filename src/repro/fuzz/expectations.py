@@ -1,0 +1,178 @@
+"""Per-tool expected verdicts for generated ground-truth bugs.
+
+Every tool in the matrix has a *principled* false-negative surface that
+the paper itself describes; the differential driver must not flag those
+as divergences.  This module encodes each surface explicitly:
+
+* **size-policy slack** — an access past the requested size but inside
+  the tool's usable size is invisible to every tool (LFP's size classes,
+  HWASan's 16-byte granule rounding, and the minimum-1-byte allocation
+  for zero-size requests).
+* **redzone bypass** — ASan/ASan-- protect only the touched bytes, so a
+  single access that jumps far past the object end may land on valid
+  memory (§4.4.1).  GiantSan's anchors and LFP's bounds make the same
+  jump a guaranteed catch.
+* **heap-only protection** — LFP does not guard stack or global objects
+  and only catches temporal bugs through an exactly-freed base pointer.
+* **tag semantics** — HWASan detects use-after-return, but classifies it
+  spatially (a popped frame is indistinguishable from a tag mismatch).
+
+Everything outside those surfaces is a MUST (guaranteed detection) or a
+MUST_NOT (guaranteed silence); the residue is FREE (either verdict is
+explainable, so the driver checks nothing beyond fastpath equivalence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..memory.allocator import low_fat_policy
+from .generator import BugSpec
+
+#: The full differential matrix.
+ALL_TOOLS = ("Native", "GiantSan", "ASan", "ASan--", "LFP", "HWASan")
+
+MUST = "must"          # the tool must report at least one error
+MUST_NOT = "must_not"  # the tool must stay silent
+FREE = "free"          # either outcome is explainable
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """Expected verdict for one (tool, bug) pair.
+
+    ``temporal`` further constrains a MUST: True requires at least one
+    temporal-kind report, False at least one spatial-kind report, None
+    accepts any report.
+    """
+
+    status: str
+    reason: str = ""
+    temporal: Optional[bool] = None
+
+
+def tool_usable_size(tool: str, arena: str, requested: int) -> int:
+    """Bytes the tool actually treats as addressable from the base.
+
+    This is the slack rule: accesses ending at or before this are
+    invisible to the tool by design.
+    """
+    if tool == "HWASan":
+        # granule tags cover ceil(size/16) granules for every arena
+        return (max(requested, 1) + 15) & ~15 if arena == "heap" else (
+            (requested + 15) & ~15
+        )
+    if arena != "heap":
+        return requested
+    effective = max(requested, 1)
+    if tool == "LFP":
+        return low_fat_policy(effective)
+    return effective  # exact policy: allocator still reserves >= 1 byte
+
+
+def _spatial_expectation(tool: str, bug: BugSpec) -> Expectation:
+    """Overflow-family bugs: single access, loop, or region op."""
+    usable = tool_usable_size(tool, bug.arena, bug.size)
+    if bug.kind == "underflow":
+        if tool == "LFP":
+            if bug.arena != "heap":
+                return Expectation(MUST_NOT, "LFP: stack/globals unprotected")
+            return Expectation(MUST, "bounds test start < base", temporal=False)
+        if tool == "HWASan":
+            # the landing granule carries the free tag, which the runtime
+            # reads as a temporal error: assert detection only
+            return Expectation(MUST, "untagged left padding")
+        return Expectation(MUST, "left redzone poison", temporal=False)
+
+    # overflow / loop_overflow / memset_overflow / memcpy_overflow
+    if bug.access_end <= usable:
+        return Expectation(
+            MUST_NOT, f"inside {tool} usable size {usable} (slack)"
+        )
+    if tool == "LFP":
+        if bug.arena != "heap":
+            return Expectation(MUST_NOT, "LFP: stack/globals unprotected")
+        return Expectation(MUST, "beyond size class", temporal=False)
+    if tool == "HWASan":
+        return Expectation(MUST, "granule tag mismatch past the object")
+    if tool in ("ASan", "ASan--") and bug.far and not bug.via_loop:
+        # a single access jumping past the 16-byte redzone may land on
+        # unrelated valid memory: the paper's redzone-bypass caveat
+        return Expectation(FREE, "redzone bypass possible on far jump")
+    return Expectation(MUST, "redzone/partial-segment poison", temporal=False)
+
+
+def expected_verdict(tool: str, bug: Optional[BugSpec]) -> Expectation:
+    """The oracle: what ``tool`` must/must-not report for ``bug``."""
+    if bug is None:
+        return Expectation(MUST_NOT, "clean program")
+    if tool == "Native":
+        return Expectation(MUST_NOT, "native runs unchecked")
+
+    kind = bug.kind
+    if kind in (
+        "overflow",
+        "underflow",
+        "loop_overflow",
+        "memset_overflow",
+        "memcpy_overflow",
+    ):
+        return _spatial_expectation(tool, bug)
+
+    if kind == "uaf":
+        if tool == "LFP":
+            return Expectation(
+                MUST, "freed base pointer, no intervening reuse", temporal=True
+            )
+        return Expectation(MUST, "freed shadow/tag state", temporal=True)
+
+    if kind == "uaf_interior":
+        if tool == "LFP":
+            return Expectation(
+                MUST_NOT, "interior pointer re-derives a region"
+            )
+        return Expectation(MUST, "freed shadow/tag state", temporal=True)
+
+    if kind == "double_free":
+        # LFP evicts instantly (no quarantine), so the second free is
+        # diagnosed INVALID_FREE rather than DOUBLE_FREE — still temporal
+        return Expectation(MUST, "second free of the same base", temporal=True)
+
+    if kind == "invalid_free":
+        return Expectation(MUST, "free of a non-base pointer", temporal=True)
+
+    if kind == "uar":
+        if tool == "LFP":
+            return Expectation(MUST_NOT, "LFP: stack unprotected")
+        if tool == "HWASan":
+            # detected via the FREE tag, but classified as a stack
+            # overflow: tags cannot distinguish pop from gap
+            return Expectation(MUST, "popped frame retagged")
+        return Expectation(MUST, "stack-after-return poison", temporal=True)
+
+    raise ValueError(f"unknown bug kind {kind!r}")
+
+
+def verdict_matches(
+    expectation: Expectation,
+    reported: bool,
+    any_temporal: bool,
+    any_spatial: bool,
+) -> Optional[str]:
+    """None when the observed verdict satisfies the expectation, else a
+    short human-readable explanation of the mismatch."""
+    if expectation.status == FREE:
+        return None
+    if expectation.status == MUST_NOT:
+        if reported:
+            return f"unexpected report ({expectation.reason})"
+        return None
+    # MUST
+    if not reported:
+        return f"missed detection ({expectation.reason})"
+    if expectation.temporal is True and not any_temporal:
+        return "detected, but no temporal-kind report"
+    if expectation.temporal is False and not any_spatial:
+        return "detected, but no spatial-kind report"
+    return None

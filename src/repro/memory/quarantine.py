@@ -33,32 +33,51 @@ class Quarantine:
         self.total_quarantined = 0
         self.total_evicted = 0
 
+    def _evict_oldest(self) -> Allocation:
+        """Evict the queue head, keeping the accounting exception-safe.
+
+        The ``on_evict`` hook runs *before* any counter moves: if it
+        raises, the chunk is restored to the queue head and the
+        quarantine state is exactly what it was before the attempt.
+        """
+        oldest = self._queue.popleft()
+        try:
+            self._on_evict(oldest)
+        except BaseException:
+            self._queue.appendleft(oldest)
+            raise
+        self._held_bytes -= oldest.chunk_size
+        self.total_evicted += 1
+        return oldest
+
     def push(self, allocation: Allocation) -> List[Allocation]:
         """Quarantine a freed allocation; returns any evicted chunks.
 
         Eviction calls the ``on_evict`` hook (which unpoisons shadow and
         returns the chunk to the allocator freelist) before returning.
+        A single chunk larger than the whole budget is deliberately
+        self-evicting: it enters the queue and is immediately recycled,
+        matching compiler-rt (an oversized chunk never lingers, so a
+        dangling pointer to it may go undetected — §5.4's bypass odds).
         """
         self._queue.append(allocation)
         self._held_bytes += allocation.chunk_size
         self.total_quarantined += 1
         evicted: List[Allocation] = []
         while self._held_bytes > self.budget_bytes and self._queue:
-            oldest = self._queue.popleft()
-            self._held_bytes -= oldest.chunk_size
-            self.total_evicted += 1
-            self._on_evict(oldest)
-            evicted.append(oldest)
+            evicted.append(self._evict_oldest())
         return evicted
 
     def drain(self) -> List[Allocation]:
-        """Evict everything (used at session teardown)."""
-        evicted = list(self._queue)
-        self._queue.clear()
-        self._held_bytes = 0
-        for allocation in evicted:
-            self.total_evicted += 1
-            self._on_evict(allocation)
+        """Evict everything (used at session teardown).
+
+        Chunks are evicted head-first one at a time, so a raising
+        ``on_evict`` hook leaves the un-evicted remainder still queued
+        and every counter consistent with the queue contents.
+        """
+        evicted: List[Allocation] = []
+        while self._queue:
+            evicted.append(self._evict_oldest())
         return evicted
 
     @property

@@ -31,6 +31,14 @@ def _memoize_default() -> bool:
     )
 
 
+def _invariants_default() -> bool:
+    return os.environ.get("REPRO_INVARIANTS", "0").lower() in (
+        "1",
+        "true",
+        "on",
+    )
+
+
 class Session:
     """One tool + one program, ready to execute.
 
@@ -38,6 +46,11 @@ class Session:
     ``REPRO_FASTPATH`` process default); ``memoize`` reuses memoized
     instrumentation across sessions (None = the ``REPRO_INSTRUMENT_CACHE``
     process default).  Both are result-invariant accelerations.
+    ``invariants`` attaches a raising
+    :class:`~repro.fuzz.invariants.ShadowInvariantChecker` to the
+    sanitizer so every allocator/frame event re-verifies shadow and
+    accounting invariants (None = the ``REPRO_INVARIANTS`` process
+    default, normally off).
     """
 
     def __init__(
@@ -47,6 +60,7 @@ class Session:
         max_instructions: int = 50_000_000,
         fastpath: bool | None = None,
         memoize: bool | None = None,
+        invariants: bool | None = None,
         **sanitizer_kwargs,
     ):
         if isinstance(tool, Sanitizer):
@@ -68,6 +82,16 @@ class Session:
         self.max_instructions = max_instructions
         self.fastpath = fastpath
         self.memoize = _memoize_default() if memoize is None else memoize
+        if invariants is None:
+            invariants = _invariants_default()
+        self.invariant_checker = None
+        if invariants:
+            # local import: repro.fuzz itself drives Sessions
+            from ..fuzz.invariants import ShadowInvariantChecker
+
+            self.invariant_checker = ShadowInvariantChecker.attach(
+                self.sanitizer, raise_on_violation=True
+            )
 
     def instrument(self, program: Program) -> InstrumentedProgram:
         if self.memoize:

@@ -17,9 +17,13 @@ from __future__ import annotations
 
 from typing import List
 
-#: Maximum folding degree: the paper reserves 6 bits (x < 64); codes
-#: 64 - i must stay non-negative, so degrees 0..64 are representable.
-MAX_DEGREE = 62
+#: Maximum folding degree.  The paper reserves six shadow bits for the
+#: degree (§1: "six shadow bits are sufficient"), so degrees are
+#: 0..63 and a degree-i segment encodes as code ``64 - i`` in [1, 64].
+#: Code 0 is reserved headroom of the monotone encoding, never emitted.
+#: :func:`degree_for_remaining` clamps to this cap, which only objects
+#: with >= 2^63 good segments (2^66 bytes) could exceed.
+MAX_DEGREE = 63
 
 
 def floor_log2(value: int) -> int:

@@ -25,7 +25,7 @@ from ..errors import ErrorKind
 from ..memory.allocator import Allocation
 from ..memory.layout import SEGMENT_SIZE, segment_index
 from . import asan_encoding
-from .folding import fold_degrees, run_lengths
+from .folding import MAX_DEGREE, fold_degrees, run_lengths
 from .shadow_memory import ShadowMemory
 
 #: Code for a plain good segment: (0)-folded.
@@ -49,8 +49,12 @@ NULL_PAGE = asan_encoding.NULL_PAGE
 
 
 def encode_folded(degree: int) -> int:
-    """Shadow code for an (i)-folded segment."""
-    if not 0 <= degree <= FOLDED_MAX_CODE:
+    """Shadow code for an (i)-folded segment.
+
+    Degrees carry six bits (0..``MAX_DEGREE``), so emitted codes span
+    [1, 64]; code 0 is reserved headroom and never produced.
+    """
+    if not 0 <= degree <= MAX_DEGREE:
         raise ValueError(f"folding degree out of range: {degree}")
     return FOLDED_MAX_CODE - degree
 

@@ -6,7 +6,9 @@ The trace answers the questions a report alone cannot — "what was at
 this address before?", "how many allocations separated the free from
 the use?" — the same role compiler-rt's allocation stack traces play.
 
-The log is a ring buffer, so tracing long runs is safe.
+The log is a ring buffer, so tracing long runs is safe.  REPORT events
+are retained outside the ring: chatty malloc/free traffic must never
+evict the record of an actual error.
 """
 
 from __future__ import annotations
@@ -61,6 +63,10 @@ class Tracer:
 
     def __init__(self, capacity: int = 4096):
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        # reports live outside the ring: they are rare (bounded by the
+        # sanitizer's error log) and must survive any amount of
+        # allocation traffic
+        self._reports: List[TraceEvent] = []
         self._sequence = 0
 
     # ------------------------------------------------------------------
@@ -138,18 +144,24 @@ class Tracer:
             detail=detail,
         )
         self._sequence += 1
-        self._events.append(event)
+        if kind is EventKind.REPORT:
+            self._reports.append(event)
+        else:
+            self._events.append(event)
         return event
 
     @property
     def events(self) -> List[TraceEvent]:
-        return list(self._events)
+        """All retained events, merged back into sequence order."""
+        merged = list(self._events) + self._reports
+        merged.sort(key=lambda e: e.sequence)
+        return merged
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._events) + len(self._reports)
 
     def of_kind(self, kind: EventKind) -> List[TraceEvent]:
-        return [e for e in self._events if e.kind is kind]
+        return [e for e in self.events if e.kind is kind]
 
     def events_near(
         self, address: int, radius: int = 256
@@ -157,7 +169,7 @@ class Tracer:
         """Events whose address range touches ``address +- radius``."""
         return [
             e
-            for e in self._events
+            for e in self.events
             if e.address - radius <= address <= e.address + max(e.size, 0) + radius
         ]
 
@@ -170,7 +182,7 @@ class Tracer:
         """
         bases = set()
         containing: List[TraceEvent] = []
-        for e in self._events:
+        for e in self.events:
             if e.kind in (EventKind.MALLOC, EventKind.GLOBAL):
                 if e.address <= address < e.address + max(e.size, 1):
                     bases.add(e.address)

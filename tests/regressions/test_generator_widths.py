@@ -1,0 +1,40 @@
+"""Regression: the fuzzer must only generate IR-legal access widths.
+
+Found by the fuzzer's very first long run: ``_gen_bug`` drew widths
+with ``randint(1, 8)``, producing width-3/5/6/7 accesses that
+``Program.validate`` rejects — every such case crashed the driver
+instead of testing anything.  Widths now come from the IR's legal set.
+"""
+
+from repro.fuzz.generator import (
+    _WIDTHS,
+    LoopWalk,
+    NonAffineWalk,
+    SingleAccess,
+    build_case,
+    case_seed_for,
+    generate_case,
+)
+
+SEEDS = [case_seed_for(0, i) for i in range(300)]
+
+
+def test_bug_widths_are_ir_legal():
+    for seed in SEEDS:
+        case = generate_case(seed, bug_probability=1.0)
+        assert case.bug is not None
+        assert case.bug.width in _WIDTHS, case.describe()
+
+
+def test_op_widths_are_ir_legal():
+    for seed in SEEDS:
+        case = generate_case(seed)
+        for op in case.ops:
+            if isinstance(op, (SingleAccess, LoopWalk, NonAffineWalk)):
+                assert op.width in _WIDTHS, case.describe()
+
+
+def test_every_generated_case_builds_and_validates():
+    for seed in SEEDS[:150]:
+        program = build_case(generate_case(seed))
+        program.validate()

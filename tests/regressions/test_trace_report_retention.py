@@ -1,0 +1,52 @@
+"""Regression: REPORT events must survive ring-buffer wraparound.
+
+Found by inspection while wiring the fuzzer's tracing: a tight
+malloc/free loop after an error report used to evict the REPORT event
+from the Tracer's ring, so post-mortem rendering showed a clean trace
+for a run that definitely reported.  Reports now live outside the ring.
+"""
+
+from repro.trace import EventKind, Tracer
+
+
+def test_report_survives_wraparound():
+    tracer = Tracer(capacity=8)
+    tracer.record(EventKind.REPORT, 0x1000, 8, "heap-buffer-overflow")
+    # flood the ring with enough traffic to wrap it many times over
+    for i in range(100):
+        tracer.record(EventKind.MALLOC, 0x2000 + i * 64, 32)
+    reports = tracer.of_kind(EventKind.REPORT)
+    assert len(reports) == 1
+    assert reports[0].address == 0x1000
+    assert reports[0].detail == "heap-buffer-overflow"
+    # the ring itself still honours its capacity
+    assert len(tracer) == 8 + 1
+
+
+def test_reports_merge_in_sequence_order():
+    tracer = Tracer(capacity=4)
+    tracer.record(EventKind.MALLOC, 0x100, 16)
+    tracer.record(EventKind.REPORT, 0x110, 1, "overflow")
+    tracer.record(EventKind.FREE, 0x100, 0)
+    sequences = [e.sequence for e in tracer.events]
+    assert sequences == sorted(sequences)
+    kinds = [e.kind for e in tracer.events]
+    assert kinds == [EventKind.MALLOC, EventKind.REPORT, EventKind.FREE]
+
+
+def test_attached_tracer_keeps_report_through_alloc_storm():
+    from repro.errors import AccessType
+    from repro.sanitizers.giantsan import GiantSan
+
+    san = GiantSan()
+    tracer = Tracer.attach(san, capacity=16)
+    victim = san.malloc(32)
+    # right-redzone hit -> report
+    san.check_access(victim.base + 40, 1, AccessType.READ)
+    assert tracer.of_kind(EventKind.REPORT)
+    for _ in range(64):  # wrap the ring with paired malloc/free traffic
+        chunk = san.malloc(24)
+        san.free(chunk.base)
+    reports = tracer.of_kind(EventKind.REPORT)
+    assert len(reports) == 1
+    assert reports[0].address == victim.base + 40

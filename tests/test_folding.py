@@ -108,8 +108,59 @@ class TestVerifyDegrees:
 
 class TestDegreeForRemaining:
     def test_caps_at_max_degree(self):
-        assert degree_for_remaining(1 << 63) == MAX_DEGREE
+        # 2^64 segments would fold at degree 64 (7 bits); the cap clamps
+        assert degree_for_remaining(1 << 64) == MAX_DEGREE
+        assert degree_for_remaining((1 << 65) - 1) == MAX_DEGREE
+
+    def test_uncapped_below_max(self):
+        # degrees right below the cap are NOT clamped (the old cap of 62
+        # silently truncated degree 63, which fits the paper's six bits)
+        assert degree_for_remaining(1 << 62) == 62
+        assert degree_for_remaining(1 << 63) == MAX_DEGREE == 63
 
     @given(st.integers(min_value=1, max_value=1 << 20))
     def test_never_overclaims(self, remaining):
         assert (1 << degree_for_remaining(remaining)) <= remaining
+
+
+class TestMaxDegreeEncoderConsistency:
+    """MAX_DEGREE must equal the encoder's representable range exactly."""
+
+    def test_every_degree_up_to_cap_encodes(self):
+        from repro.shadow.giantsan_encoding import decode_degree, encode_folded
+
+        for degree in range(MAX_DEGREE + 1):
+            code = encode_folded(degree)
+            assert 1 <= code <= 64  # code 0 is reserved, never emitted
+            assert decode_degree(code) == degree
+
+    def test_degree_beyond_cap_rejected(self):
+        from repro.shadow.giantsan_encoding import encode_folded
+
+        with pytest.raises(ValueError):
+            encode_folded(MAX_DEGREE + 1)
+
+    def test_run_lengths_at_giant_scale(self):
+        """Objects big enough to hit the cap fold without materializing
+        per-segment lists: the head run absorbs the clamp."""
+        good = 1 << 64  # 2^64 good segments (cap territory)
+        runs = run_lengths(good)
+        head_degree, head_run = runs[0]
+        assert head_degree == MAX_DEGREE
+        # every clamped head segment still satisfies the invariant:
+        # 2^MAX_DEGREE <= remaining for each of the head-run positions
+        assert head_run == good - (1 << MAX_DEGREE) + 1
+        assert sum(run for _, run in runs) == good
+        # after the head, degrees descend exactly as the formula says
+        for degree, _ in runs[1:]:
+            assert degree < MAX_DEGREE
+
+    def test_giant_scale_head_degrees_verify(self):
+        """A synthetic prefix of the giant fold passes verify_degrees
+        when padded with the guaranteed remaining segments."""
+        # degree sequence for 2^63 + 2 good segments starts [63, 63, 62?]
+        runs = run_lengths((1 << 63) + 2)
+        assert runs[0] == (MAX_DEGREE, 3)
+        # the tail below the cap folds exactly like a small object
+        expanded_small = run_lengths((1 << 63) - 1)
+        assert expanded_small[0][0] == 62
