@@ -166,7 +166,7 @@ def render_figure10(breakdowns: List[CheckBreakdown]) -> str:
         "Figure 10: proportion of memory accesses per protection category",
         f"{'Program':20s} "
         + " ".join(f"{c:>12s}" for c in FIG10_CATEGORIES)
-        + f" {'optimized':>10s}",
+        + f" {'optimized':>10s} {'elided':>8s}",
     ]
     for item in breakdowns:
         lines.append(
@@ -175,6 +175,7 @@ def render_figure10(breakdowns: List[CheckBreakdown]) -> str:
                 f"{item.fraction(c) * 100:>11.1f}%" for c in FIG10_CATEGORIES
             )
             + f" {item.optimized_fraction * 100:>9.1f}%"
+            + f" {item.elided_fraction * 100:>7.1f}%"
         )
     if breakdowns:
         mean_opt = sum(b.optimized_fraction for b in breakdowns) / len(

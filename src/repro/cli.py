@@ -112,7 +112,7 @@ def _cmd_fuzz(args) -> str:
 
     if args.repro is not None:
         case = generate_case(args.repro, bug_probability=args.bug_probability)
-        report = run_case(case)
+        report = run_case(case, audit_elisions=args.audit_elisions)
         lines = [case.describe(), ""]
         if report.clean:
             lines.append(
@@ -125,16 +125,24 @@ def _cmd_fuzz(args) -> str:
         raise SystemExit(1)
 
     payloads = [
-        (args.seed, start, stop, args.bug_probability, not args.no_shrink)
+        (
+            args.seed,
+            start,
+            stop,
+            args.bug_probability,
+            not args.no_shrink,
+            args.audit_elisions,
+        )
         for start, stop in chunk_ranges(args.iterations, args.jobs)
     ]
     summary = FuzzSummary()
     for partial in parallel_map(fuzz_worker, payloads, jobs=args.jobs):
         summary.merge(partial)
+    audited = " + elision audit" if args.audit_elisions else ""
     lines = [
         f"fuzzed {summary.cases} cases (seed={args.seed}, "
         f"{summary.buggy_cases} with injected bugs) under all tools, "
-        f"fastpath on+off",
+        f"fastpath on+off{audited}",
         f"invariant checks passed: {summary.invariant_checks}",
         f"divergences: {len(summary.findings)}",
     ]
@@ -154,6 +162,65 @@ def _cmd_fuzz(args) -> str:
             )
     print("\n".join(lines))
     raise SystemExit(1)
+
+
+def _cmd_analyze(args) -> str:
+    """Static dataflow analysis over the Table 2 proxies (no execution)."""
+    from .passes.instrument import instrument
+    from .reporting import format_static_findings
+    from .sanitizers import SANITIZER_FACTORIES
+    from .workloads import SPEC_BY_NAME, SPEC_TABLE2_ROWS, build_spec_program
+
+    try:
+        factory = SANITIZER_FACTORIES[args.tool]
+    except KeyError:
+        known = ", ".join(sorted(SANITIZER_FACTORIES))
+        raise SystemExit(f"unknown tool {args.tool!r}; known tools: {known}")
+    if args.program is not None and args.program not in SPEC_BY_NAME:
+        known = ", ".join(sorted(SPEC_BY_NAME))
+        raise SystemExit(
+            f"unknown program {args.program!r}; known programs: {known}"
+        )
+    names = (
+        [args.program]
+        if args.program is not None
+        else [p.name for p in SPEC_TABLE2_ROWS]
+    )
+    lines = [f"static analysis under {args.tool}:", ""]
+    lines.append(f"{'program':<16} {'elided':>7} {'findings':>9}")
+    findings_all = []
+    elisions_all = []
+    timings_total: dict = {}
+    for name in names:
+        ip = instrument(build_spec_program(name), tool=factory())
+        lines.append(
+            f"{name:<16} {len(ip.stats.elisions):>7} "
+            f"{len(ip.stats.findings):>9}"
+        )
+        findings_all.extend(ip.stats.findings)
+        elisions_all.extend(ip.stats.elisions)
+        for pass_name, micros in ip.stats.pass_timings().items():
+            timings_total[pass_name] = (
+                timings_total.get(pass_name, 0) + micros
+            )
+    lines.append("")
+    lines.append(format_static_findings(findings_all))
+    if args.elisions and elisions_all:
+        lines.append("")
+        lines.append("elided checks:")
+        for record in elisions_all:
+            lines.append(
+                f"  {record.function} site {record.site_id}: {record.reason}"
+            )
+    if args.stats:
+        lines.append("")
+        lines.append("pass timings (summed over programs):")
+        lines.append(f"  {'pass':<32} {'wall time':>12}")
+        for pass_name, micros in sorted(
+            timings_total.items(), key=lambda item: -item[1]
+        ):
+            lines.append(f"  {pass_name:<32} {micros:>9} us")
+    return "\n".join(lines)
 
 
 def _cmd_demo(args) -> str:
@@ -181,6 +248,7 @@ _COMMANDS = {
     "fig11": (_cmd_fig11, "Figure 11: traversal patterns"),
     "bench": (_cmd_bench, "Time the Table 2 sweep (wall-clock benchmark)"),
     "fuzz": (_cmd_fuzz, "Differential fuzz: all tools, fastpath on+off"),
+    "analyze": (_cmd_analyze, "Static dataflow analysis: findings + elisions"),
     "demo": (_cmd_demo, "Detect a bug and print an ASan-style report"),
 }
 
@@ -263,6 +331,33 @@ def build_parser() -> argparse.ArgumentParser:
                 "--no-shrink",
                 action="store_true",
                 help="report diverging cases without minimizing them",
+            )
+            sub.add_argument(
+                "--audit-elisions",
+                action="store_true",
+                help="replay every statically elided check against the "
+                "shadow oracle; any fired replay is a divergence",
+            )
+        if name == "analyze":
+            sub.add_argument(
+                "--tool",
+                default="GiantSan",
+                help="instrument for this tool's pipeline (default GiantSan)",
+            )
+            sub.add_argument(
+                "--program",
+                default=None,
+                help="analyze one Table 2 proxy instead of all of them",
+            )
+            sub.add_argument(
+                "--stats",
+                action="store_true",
+                help="also print the per-pass wall-time table",
+            )
+            sub.add_argument(
+                "--elisions",
+                action="store_true",
+                help="list every elided check with its static proof",
             )
         if name == "demo":
             sub.add_argument(

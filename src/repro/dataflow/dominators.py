@@ -1,0 +1,73 @@
+"""Dominator computation (Cooper-Harvey-Kennedy iterative algorithm).
+
+``B dominates C`` when every path from the entry to ``C`` passes through
+``B``.  The static bug detector uses dominance of the *exit* block to
+tag findings that execute on every terminating run (``always_executes``),
+and the framework exposes the full tree for analyses that need it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .cfg import CFG
+
+
+def immediate_dominators(cfg: CFG) -> Dict[int, Optional[int]]:
+    """``block index -> immediate dominator index`` (entry maps to None).
+
+    Unreachable blocks are absent from the result.
+    """
+    order = cfg.rpo()
+    position = {index: i for i, index in enumerate(order)}
+    idom: Dict[int, int] = {0: 0}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]
+            while position[b] > position[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for index in order:
+            if index == 0:
+                continue
+            preds = [
+                p
+                for p in cfg.blocks[index].preds
+                if p in idom  # processed (or entry) and reachable
+            ]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for pred in preds[1:]:
+                new_idom = intersect(new_idom, pred)
+            if idom.get(index) != new_idom:
+                idom[index] = new_idom
+                changed = True
+    return {
+        index: (None if index == 0 else idom[index])
+        for index in idom
+    }
+
+
+def dominators_of(cfg: CFG, block_index: int) -> List[int]:
+    """Every block dominating ``block_index`` (including itself)."""
+    idom = immediate_dominators(cfg)
+    if block_index not in idom:
+        return []  # unreachable
+    chain = [block_index]
+    current = block_index
+    while idom[current] is not None:
+        current = idom[current]
+        chain.append(current)
+    return chain
+
+
+def dominates(cfg: CFG, a: int, b: int) -> bool:
+    """True when block ``a`` dominates block ``b``."""
+    return a in dominators_of(cfg, b)

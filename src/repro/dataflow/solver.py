@@ -1,0 +1,151 @@
+"""A generic forward worklist solver over the lowered CFG.
+
+Analyses implement the small :class:`ForwardAnalysis` protocol (boundary
+state, meet, per-instruction transfer) and the solver iterates blocks in
+reverse post-order until the in-states stabilize.  Loop headers get two
+extra hooks:
+
+* :meth:`ForwardAnalysis.at_block_start` runs after the meet, which is
+  where the interval analysis clamps the induction variable to its trip
+  range (and where any analysis models the header's redefinition of the
+  loop variable);
+* :meth:`ForwardAnalysis.widen` is applied once a header has been
+  re-entered a few times, so lattices of unbounded height (intervals)
+  still terminate.
+
+States are treated as opaque values; the solver only copies, meets,
+compares (``==``) and hands them to transfer functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..ir.nodes import Instr
+from .cfg import CFG, LOOP_HEADER, BasicBlock
+
+#: Header visits before widening kicks in (a few exact iterations first
+#: keeps short constant loops precise).
+WIDEN_AFTER = 3
+
+#: Hard backstop against a non-monotone transfer function looping the
+#: solver forever; generously above any legitimate fixpoint.
+MAX_VISITS_PER_BLOCK = 200
+
+
+class ForwardAnalysis:
+    """Protocol for forward dataflow analyses (subclass and override)."""
+
+    def boundary(self, cfg: CFG) -> object:
+        """The state on entry to the function."""
+        raise NotImplementedError
+
+    def copy(self, state: object) -> object:
+        raise NotImplementedError
+
+    def meet(self, a: object, b: object) -> object:
+        """Combine states at a join; must not mutate its arguments."""
+        raise NotImplementedError
+
+    def transfer(self, instr: Instr, state: object) -> None:
+        """Apply one instruction's effect to ``state`` in place."""
+        raise NotImplementedError
+
+    def at_block_start(self, block: BasicBlock, state: object) -> None:
+        """Hook applied after the meet (loop-header var effects)."""
+
+    def widen(self, old: object, new: object) -> object:
+        """Accelerate convergence at loop headers; default: no widening."""
+        return new
+
+
+@dataclass
+class Solution:
+    """Fixpoint states: per reachable block, the state at block entry."""
+
+    cfg: CFG
+    analysis: ForwardAnalysis
+    in_states: Dict[int, object] = field(default_factory=dict)
+    out_states: Dict[int, object] = field(default_factory=dict)
+
+    def replay(
+        self, block: BasicBlock
+    ) -> Iterator[Tuple[Instr, object]]:
+        """Yield ``(instr, state-before-instr)`` through one block.
+
+        The yielded state is live — the caller sees it advance as the
+        replay transfers each instruction — so consumers must read it
+        before advancing the iterator.
+        """
+        state = self.analysis.copy(self.in_states[block.index])
+        for instr in block.instrs:
+            yield instr, state
+            self.analysis.transfer(instr, state)
+
+    def state_before(self, instr: Instr) -> Optional[object]:
+        """The state just before ``instr``; None when unreachable."""
+        for block in self.cfg.blocks:
+            if block.index not in self.in_states:
+                continue
+            if any(i is instr for i in block.instrs):
+                for candidate, state in self.replay(block):
+                    if candidate is instr:
+                        return self.analysis.copy(state)
+        return None
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis) -> Solution:
+    """Run ``analysis`` to fixpoint over ``cfg``."""
+    order = cfg.rpo()
+    position = {index: i for i, index in enumerate(order)}
+    solution = Solution(cfg=cfg, analysis=analysis)
+    visits: Dict[int, int] = {}
+
+    worklist: List[int] = [0]
+    queued = {0}
+    while worklist:
+        # lowest RPO position first approximates topological order
+        worklist.sort(key=lambda i: position[i])
+        index = worklist.pop(0)
+        queued.discard(index)
+        block = cfg.blocks[index]
+        visits[index] = visits.get(index, 0) + 1
+        if visits[index] > MAX_VISITS_PER_BLOCK:
+            raise RuntimeError(
+                f"dataflow solver failed to converge at block {index}"
+            )
+
+        if index == 0:
+            in_state = analysis.boundary(cfg)
+        else:
+            in_state = None
+            for pred in block.preds:
+                pred_out = solution.out_states.get(pred)
+                if pred_out is None:
+                    continue  # unvisited (or unreachable) predecessor
+                if in_state is None:
+                    in_state = analysis.copy(pred_out)
+                else:
+                    in_state = analysis.meet(in_state, pred_out)
+            if in_state is None:
+                continue  # no reachable predecessor yet
+
+        analysis.at_block_start(block, in_state)
+        old_in = solution.in_states.get(index)
+        if block.kind == LOOP_HEADER and visits[index] > WIDEN_AFTER:
+            if old_in is not None:
+                in_state = analysis.widen(old_in, in_state)
+        if old_in is not None and old_in == in_state:
+            continue  # already at fixpoint for this block
+        solution.in_states[index] = in_state
+
+        out_state = analysis.copy(in_state)
+        for instr in block.instrs:
+            analysis.transfer(instr, out_state)
+        solution.out_states[index] = out_state
+        for succ in block.succs:
+            if succ not in queued:
+                worklist.append(succ)
+                queued.add(succ)
+    return solution

@@ -14,6 +14,14 @@ fast path ON and OFF, and cross-checks four ways:
 4. **cross-tool** — bug-free cases must return the same checksum under
    every tool (all tools interpret the same program over zeroed memory).
 
+With ``audit_elisions`` enabled, each tool additionally runs in audit
+instrumentation mode: checks the static dataflow analysis elided are
+kept as ``CheckElided`` markers and replayed against the shadow oracle.
+A replay that fires means the elision proof was unsound for a concrete
+execution — an ``elision`` divergence.  The audited run must also match
+the normal run's observables (replay rollback is required to be
+invisible), modulo the marker instructions themselves.
+
 Anything that trips becomes a :class:`Divergence`; the CLI shrinks those
 cases to minimal reproducers (see :mod:`repro.fuzz.shrinker`).
 """
@@ -39,7 +47,7 @@ class Divergence:
 
     case_seed: int
     tool: str  # "*" for cross-tool findings
-    kind: str  # fastpath | oracle | invariant | cross-tool | crash
+    kind: str  # fastpath | oracle | invariant | cross-tool | elision | crash
     detail: str
 
     def render(self) -> str:
@@ -88,10 +96,48 @@ def _run_one(
     return session.run(program), checker
 
 
+def _audit_elisions(
+    program, tool: str, case: FuzzCase, baseline_obs: dict
+) -> List[Divergence]:
+    """Replay every elision decision against the shadow oracle."""
+    session = Session(
+        tool,
+        fastpath=False,
+        memoize=False,
+        max_instructions=CASE_MAX_INSTRUCTIONS,
+        audit_elisions=True,
+    )
+    result = session.run(program)
+    divergences: List[Divergence] = []
+    for failure in result.elision_audit_failures:
+        divergences.append(
+            Divergence(
+                case.seed, tool, "elision",
+                f"site {failure.site_id}: replay fired "
+                f"{failure.report.kind.value}; static proof was: "
+                f"{failure.reason}",
+            )
+        )
+    audited = observables(result)
+    # marker instructions execute, so instruction counts legitimately
+    # differ; everything else must be untouched by the replay rollback
+    for key in ("native_cycles", "return_value", "stats", "protection",
+                "errors"):
+        if audited[key] != baseline_obs[key]:
+            divergences.append(
+                Divergence(
+                    case.seed, tool, "elision",
+                    f"audit run perturbed observable {key!r}",
+                )
+            )
+    return divergences
+
+
 def run_case(
     case: FuzzCase,
     tools: Sequence[str] = ALL_TOOLS,
     check_invariants: bool = True,
+    audit_elisions: bool = False,
 ) -> CaseReport:
     """Run ``case`` through the full differential matrix."""
     divergences: List[Divergence] = []
@@ -102,6 +148,10 @@ def run_case(
         try:
             off, checker_off = _run_one(program, tool, False, check_invariants)
             on, checker_on = _run_one(program, tool, True, check_invariants)
+            if audit_elisions:
+                divergences.extend(
+                    _audit_elisions(program, tool, case, observables(off))
+                )
         except Exception as exc:  # noqa: BLE001 - any crash is a finding
             divergences.append(
                 Divergence(
@@ -196,6 +246,7 @@ def fuzz_span(
     bug_probability: float = 0.55,
     shrink: bool = True,
     tools: Sequence[str] = ALL_TOOLS,
+    audit_elisions: bool = False,
 ) -> FuzzSummary:
     """Fuzz case indices ``[start, stop)`` for the base ``seed``."""
     from .shrinker import shrink_case  # local: avoids an import cycle
@@ -208,7 +259,7 @@ def fuzz_span(
         summary.cases += 1
         if case.bug is not None:
             summary.buggy_cases += 1
-        report = run_case(case, tools=tools)
+        report = run_case(case, tools=tools, audit_elisions=audit_elisions)
         summary.invariant_checks += report.invariant_checks
         if report.clean:
             continue
@@ -228,7 +279,12 @@ def fuzz_span(
 
 def fuzz_worker(payload) -> FuzzSummary:
     """Module-level worker for :func:`repro.analysis.parallel.parallel_map`."""
-    seed, start, stop, bug_probability, shrink = payload
+    seed, start, stop, bug_probability, shrink, audit_elisions = payload
     return fuzz_span(
-        seed, start, stop, bug_probability=bug_probability, shrink=shrink
+        seed,
+        start,
+        stop,
+        bug_probability=bug_probability,
+        shrink=shrink,
+        audit_elisions=audit_elisions,
     )

@@ -156,6 +156,7 @@ class Protection(enum.Enum):
     DIRECT = "direct"  # per-execution check remains at the site
     ELIMINATED = "eliminated"  # covered by a merged/promoted check
     CACHED = "cached"  # guarded through a quasi-bound cache
+    ELIDED = "elided"  # statically proven in-bounds, check removed
 
 
 # ----------------------------------------------------------------------
@@ -349,6 +350,25 @@ class CacheFinalize(Instr):
     cache_id: int
     base: str
     access: AccessType = AccessType.READ
+
+
+@dataclass
+class CheckElided(Instr):
+    """A statically elided check, retained in audit builds only.
+
+    Normal builds delete elided checks outright.  With the elision audit
+    enabled the instrumenter wraps them instead; the interpreter replays
+    ``inner`` against the shadow oracle without charging cycles or
+    perturbing statistics, and any error the replay reports exposes an
+    unsound elision.
+    """
+
+    inner: Instr  # the CheckAccess/CheckRegion that was elided
+    reason: str = ""
+
+    @property
+    def site_id(self) -> int:
+        return getattr(self.inner, "site_id", -1)
 
 
 @dataclass

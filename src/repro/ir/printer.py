@@ -17,6 +17,7 @@ from .nodes import (
     GlobalAlloc,
     CheckAccess,
     CheckCached,
+    CheckElided,
     CheckRegion,
     Free,
     If,
@@ -90,6 +91,8 @@ def _line(instr: Instr) -> str:
         )
     if isinstance(instr, CacheFinalize):
         return f"CI({instr.base}, {instr.base} + ub#{instr.cache_id})"
+    if isinstance(instr, CheckElided):
+        return f"ELIDED[{instr.reason}] {{ {_line(instr.inner)} }}"
     return repr(instr)
 
 

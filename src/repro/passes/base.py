@@ -3,14 +3,27 @@
 Passes mutate a cloned :class:`~repro.ir.program.Program` in place and
 record what they did in :class:`PassStats`, which the Figure 10 harness
 reads (how many checks each optimization removed, cached, or merged).
+The manager also wall-clocks each pass (``pass_us:<name>`` notes), which
+``repro analyze --stats`` renders as a timing table.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..ir.program import Program
+
+
+@dataclass(frozen=True)
+class ElisionRecord:
+    """One check removed by a static in-bounds + lifetime proof."""
+
+    function: str
+    site_id: int
+    root: str
+    reason: str
 
 
 @dataclass
@@ -28,9 +41,22 @@ class PassStats:
     #: Remaining per-site checks after the whole pipeline.
     remaining_checks: int = 0
     notes: Dict[str, int] = field(default_factory=dict)
+    #: Every check the static analysis elided, for reporting and audit.
+    elisions: List[ElisionRecord] = field(default_factory=list)
+    #: Definite static bugs found while instrumenting (StaticFinding).
+    findings: List[object] = field(default_factory=list)
 
     def bump(self, key: str, amount: int = 1) -> None:
         self.notes[key] = self.notes.get(key, 0) + amount
+
+    def pass_timings(self) -> Dict[str, int]:
+        """Per-pass wall time in microseconds, keyed by pass name."""
+        prefix = "pass_us:"
+        return {
+            key[len(prefix):]: value
+            for key, value in self.notes.items()
+            if key.startswith(prefix)
+        }
 
 
 class Pass:
@@ -51,5 +77,8 @@ class PassManager:
     def run(self, program: Program) -> PassStats:
         stats = PassStats()
         for p in self.passes:
+            started = time.perf_counter()
             p.run(program, stats)
+            elapsed_us = int((time.perf_counter() - started) * 1e6)
+            stats.bump(f"pass_us:{p.name}", elapsed_us)
         return stats

@@ -1,31 +1,44 @@
-"""Aliased-check elimination and constant-offset check merging (§4.4.2).
+"""Redundant-check elimination and constant-offset merging (§4.4.2).
 
-Two transformations run within straight-line windows of each block
-(windows end at calls, frees, and control flow, where addressability
-facts may change):
+Two transformations:
 
-* **Duplicate elimination** — a check made redundant by an earlier
-  must-aliased check in the window is dropped (this is ASan--'s core
+* **Cross-block elimination** — a check covered, on *every* incoming
+  path, by equal-or-wider must-aliased checks is dropped.  This runs the
+  :class:`~repro.dataflow.available.AvailableCheckAnalysis` must-
+  analysis to fixpoint over the lowered CFG, so a check after an ``If``
+  whose both arms performed a wider check dies, and a check dominated by
+  an earlier one is recognized across any nesting — strictly subsuming
+  the old straight-line-window deduplication (ASan--'s core
   optimization, also used by GiantSan).
+
 * **Constant-offset merging** — for region-capable tools, checks on the
   same object with constant offsets collapse into a single region check
   covering their span: Figure 8's ``CI(p, p+4); CI(p, p+8)`` becoming
   ``CI(p, p+8)``; Table 1's ``p[0] + p[10] + p[20]`` costing one check.
+  Merging groups are keyed by provenance root when it is known, and by
+  the base pointer's *current value* otherwise (a freshly loaded ``p``
+  used for ``p->a`` then ``p->b``), the latter killed whenever the base
+  variable is redefined.
+
+Elimination must not let a check justify its own removal through a loop
+back edge (delete it and the "available" fact it generated disappears
+with it).  The pass therefore iterates a shrinking candidate set: start
+from every covered check, re-run the analysis with the candidates
+generating *no* facts, and keep only the ones still covered — at the
+fixpoint every deleted check is covered by kept checks alone.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..ir.nodes import (
-    BinOp,
     Call,
-    GlobalAlloc,
     CheckAccess,
     CheckRegion,
     Const,
-    Expr,
     Free,
+    GlobalAlloc,
     If,
     Instr,
     Load,
@@ -37,7 +50,6 @@ from ..ir.nodes import (
     StackAlloc,
     Store,
     Strcpy,
-    Var,
 )
 from ..ir.program import Program, transform_blocks, walk
 from .alias import ProvenanceMap
@@ -48,65 +60,79 @@ from .constprop import fold
 _BARRIERS = (Call, Free, Loop, If, Malloc, StackAlloc, GlobalAlloc)
 
 
-def _total_offset(pmap: ProvenanceMap, base: str, offset: Expr) -> Optional[Tuple[str, Expr]]:
-    """(root, folded total offset) for base+offset, or None if unknown."""
-    prov = pmap.provenance(base)
-    if prov is None:
-        return None
-    return prov.root, fold(BinOp("+", prov.offset, offset))
+class CrossBlockCheckElimination(Pass):
+    """Remove checks covered on all paths by must-aliased checks."""
 
-
-class AliasedCheckElimination(Pass):
-    """Remove checks covered by an earlier must-aliased check."""
-
-    name = "aliased-check-elimination"
+    name = "cross-block-check-elimination"
 
     def run(self, program: Program, stats: PassStats) -> None:
         sites = _site_map(program)
         for function in program.functions.values():
             pmap = ProvenanceMap(function)
-            function.body = transform_blocks(
-                function.body, lambda block: self._process(block, pmap, stats, sites)
-            )
-
-    def _process(
-        self, block: List[Instr], pmap: ProvenanceMap, stats: PassStats, sites
-    ) -> List[Instr]:
-        seen: Dict[tuple, bool] = {}
-        result: List[Instr] = []
-        for instr in block:
-            if isinstance(instr, _BARRIERS):
-                seen.clear()
-                result.append(instr)
+            doomed = self._converge(function, pmap)
+            if not doomed:
                 continue
-            key = self._key(instr, pmap)
-            if key is not None:
-                if key in seen:
-                    stats.eliminated += 1
-                    site = sites.get(getattr(instr, "site_id", -1))
-                    if site is not None:
-                        site.protection = Protection.ELIMINATED
-                    continue  # drop the redundant check
-                seen[key] = True
-            result.append(instr)
-        return result
+            removed = [0]
 
-    @staticmethod
-    def _key(instr: Instr, pmap: ProvenanceMap) -> Optional[tuple]:
-        # the access direction is irrelevant: location-based checks test
-        # addressability, which reads and writes share
-        if isinstance(instr, CheckAccess):
-            total = _total_offset(pmap, instr.base, instr.offset)
-            if total is None:
-                return None
-            return ("access", total[0], total[1], instr.width)
-        if isinstance(instr, CheckRegion):
-            start = _total_offset(pmap, instr.base, instr.start)
-            end = _total_offset(pmap, instr.base, instr.end)
-            if start is None or end is None:
-                return None
-            return ("region", start[0], start[1], end[1])
-        return None
+            def prune(block: List[Instr]) -> List[Instr]:
+                kept: List[Instr] = []
+                for instr in block:
+                    if id(instr) in doomed:
+                        removed[0] += 1
+                        site = sites.get(getattr(instr, "site_id", -1))
+                        if site is not None:
+                            site.protection = Protection.ELIMINATED
+                        continue
+                    kept.append(instr)
+                return kept
+
+            function.body = transform_blocks(function.body, prune)
+            stats.eliminated += removed[0]
+            stats.bump("cross_block_eliminated", removed[0])
+
+    # ------------------------------------------------------------------
+    def _converge(
+        self, function, pmap: ProvenanceMap
+    ) -> Set[int]:
+        """The final set of check ids that are safe to delete together.
+
+        Iterates ``D_{k+1} = covered(suppress=D_k) ∩ D_k`` to a fixpoint
+        (monotonically shrinking, hence terminating): at the end, every
+        member is covered even when no member generates facts, i.e. by
+        surviving checks only.
+        """
+        from .. import dataflow  # lazy: dataflow lazily imports passes
+
+        cfg = dataflow.lower_function(function)
+        doomed: Optional[Set[int]] = None
+        while True:
+            analysis = dataflow.AvailableCheckAnalysis(
+                function, pmap, suppressed=doomed or set()
+            )
+            solution = dataflow.solve(cfg, analysis)
+            covered: Set[int] = set()
+            for block in cfg.blocks:
+                if block.index not in solution.in_states:
+                    continue
+                for instr, state in solution.replay(block):
+                    if not isinstance(instr, (CheckAccess, CheckRegion)):
+                        continue
+                    span = analysis.coverage(instr)
+                    if span is None:
+                        continue
+                    key, lo, hi = span
+                    if dataflow.covers(state.get(key, ()), lo, hi):
+                        covered.add(id(instr))
+            new = covered if doomed is None else (covered & doomed)
+            if new == doomed:
+                return new
+            doomed = new
+            if not doomed:
+                return doomed
+
+
+#: Historical name: the window-based deduplication this pass subsumes.
+AliasedCheckElimination = CrossBlockCheckElimination
 
 
 class ConstantOffsetMerging(Pass):
@@ -131,9 +157,9 @@ class ConstantOffsetMerging(Pass):
         self, block: List[Instr], pmap: ProvenanceMap, stats: PassStats, sites
     ) -> List[Instr]:
         result: List[Instr] = []
-        #: root -> (result index of the anchor check, anchor's own
-        #: root-relative base offset, merged min_off, merged max_off)
-        groups: Dict[str, Tuple[int, int, int, int]] = {}
+        #: group key -> (result index of the anchor check, anchor's own
+        #: relative base offset, merged min_off, merged max_off)
+        groups: Dict[object, Tuple[int, int, int, int]] = {}
         for instr in block:
             if isinstance(instr, _BARRIERS):
                 groups.clear()
@@ -141,48 +167,62 @@ class ConstantOffsetMerging(Pass):
                 continue
             span = self._const_span(instr, pmap)
             if span is None:
+                # a redefinition changes what the base pointer *value*
+                # refers to; facts keyed by that value die with it
+                dst = getattr(instr, "dst", None)
+                if isinstance(dst, str):
+                    groups.pop(("v", dst), None)
                 result.append(instr)
                 continue
-            root, base_off, low, high = span
-            if root in groups:
-                index, anchor_off, cur_low, cur_high = groups[root]
+            key, base_off, low, high = span
+            if key in groups:
+                index, anchor_off, cur_low, cur_high = groups[key]
                 merged_low = min(cur_low, low)
                 merged_high = max(cur_high, high)
                 anchor_check: CheckRegion = result[index]  # type: ignore[assignment]
-                # offsets are root-relative; rebase onto the anchor check's
-                # own base pointer before storing them in the instruction
+                # offsets are group-relative; rebase onto the anchor
+                # check's own base pointer before storing them
                 anchor_check.start = Const(merged_low - anchor_off)
                 anchor_check.end = Const(merged_high - anchor_off)
-                groups[root] = (index, anchor_off, merged_low, merged_high)
+                groups[key] = (index, anchor_off, merged_low, merged_high)
                 stats.eliminated += 1
+                if isinstance(key, tuple):
+                    stats.bump("value_keyed_merged")
                 site = sites.get(instr.site_id)
                 if site is not None:
                     site.protection = Protection.ELIMINATED
                 continue  # drop: folded into the anchor check
-            groups[root] = (len(result), base_off, low, high)
+            groups[key] = (len(result), base_off, low, high)
             result.append(instr)
         return result
 
     @staticmethod
     def _const_span(
         instr: Instr, pmap: ProvenanceMap
-    ) -> Optional[Tuple[str, int, int, int]]:
-        """(root, base_offset, abs_start, abs_end) for constant spans."""
+    ) -> Optional[Tuple[object, int, int, int]]:
+        """(group key, base_offset, start, end) for constant spans.
+
+        The key is the provenance root when the base's provenance and
+        offset are statically known (offsets root-relative), or
+        ``("v", base)`` — the base pointer's current value — otherwise
+        (offsets relative to that value).
+        """
         if not isinstance(instr, CheckRegion):
-            return None
-        prov = pmap.provenance(instr.base)
-        if prov is None or not isinstance(prov.offset, Const):
             return None
         start = fold(instr.start)
         end = fold(instr.end)
         if not isinstance(start, Const) or not isinstance(end, Const):
             return None
-        return (
-            prov.root,
-            prov.offset.value,
-            prov.offset.value + start.value,
-            prov.offset.value + end.value,
-        )
+        prov = pmap.provenance(instr.base)
+        if prov is not None and isinstance(prov.offset, Const):
+            base_off = prov.offset.value
+            return (
+                prov.root,
+                base_off,
+                base_off + start.value,
+                base_off + end.value,
+            )
+        return ("v", instr.base), 0, start.value, end.value
 
 
 def _site_map(program: Program) -> Dict[int, Instr]:

@@ -2,9 +2,16 @@
 
 The paper's check-merging examples (Table 1 first row, Figure 8) rely on
 constant propagation to see that ``p[0]``, ``p[10]``, ``p[20]`` are the
-same base with constant offsets.  This pass folds expressions and
-propagates constants through straight-line code, conservatively dropping
-facts at control-flow joins.
+same base with constant offsets.  The pass runs the whole-function
+interval analysis (:mod:`repro.dataflow`) to fixpoint and substitutes
+every variable whose interval is a singleton — so constants survive
+control-flow joins when both arms agree (where the old tree walk had to
+drop every fact), and loop-carried facts are only kept when the fixpoint
+proves them stable.
+
+:func:`fold` and :func:`eval_const` stay pure expression-level helpers,
+shared by the other passes and the dataflow analyses (which import them
+lazily; this module must import :mod:`repro.dataflow` lazily in turn).
 """
 
 from __future__ import annotations
@@ -12,25 +19,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from ..ir.nodes import (
-    Assign,
     BinOp,
-    GlobalAlloc,
     Call,
     Const,
     Expr,
-    Free,
-    If,
     Instr,
-    Load,
-    Loop,
-    Malloc,
-    Memcpy,
-    Memset,
-    PtrAdd,
-    Return,
-    StackAlloc,
-    Store,
-    Strcpy,
     Var,
 )
 from ..ir.program import Program, walk
@@ -122,43 +115,47 @@ def _fold_instr_exprs(instr: Instr, env: Dict[str, int]) -> None:
         instr.args = [fold(a, env) for a in instr.args]
 
 
-def _propagate_block(block: List[Instr], env: Dict[str, int]) -> None:
-    for instr in block:
-        _fold_instr_exprs(instr, env)
-        if isinstance(instr, Assign):
-            folded = instr.expr
-            if isinstance(folded, Const):
-                env[instr.dst] = folded.value
-            else:
-                env.pop(instr.dst, None)
-        elif isinstance(instr, (Load, Malloc, StackAlloc, GlobalAlloc, PtrAdd)):
-            env.pop(instr.dst, None)
-        elif isinstance(instr, Call):
-            if instr.dst:
-                env.pop(instr.dst, None)
-        elif isinstance(instr, Loop):
-            killed = assigned_vars(instr.body) | {instr.var}
-            inner = {k: v for k, v in env.items() if k not in killed}
-            _propagate_block(instr.body, inner)
-            for name in killed:
-                env.pop(name, None)
-        elif isinstance(instr, If):
-            killed = assigned_vars(instr.then) | assigned_vars(instr.orelse)
-            then_env = {k: v for k, v in env.items() if k not in killed}
-            else_env = dict(then_env)
-            _propagate_block(instr.then, then_env)
-            _propagate_block(instr.orelse, else_env)
-            for name in killed:
-                env.pop(name, None)
-        elif isinstance(instr, (Free, Memset, Memcpy, Strcpy, Store, Return)):
-            pass
+def _singletons(state) -> Dict[str, int]:
+    """The variables whose interval is a single value."""
+    return {
+        name: interval.lo
+        for name, interval in state.items()
+        if interval.is_constant()
+    }
 
 
 class ConstantPropagation(Pass):
-    """Propagate constants and fold expressions program-wide."""
+    """Propagate constants and fold expressions program-wide.
+
+    Rides on the interval fixpoint: a variable folds to a constant at a
+    program point exactly when its interval there is a singleton.  Block
+    terminators fold too — ``If`` conditions with the state at the end
+    of the condition block, ``Loop`` bounds with the meet at the loop
+    header (sound whether bounds are read once at entry or re-read each
+    iteration, since the header meet covers both edge sets).
+    """
 
     name = "constprop"
 
     def run(self, program: Program, stats: PassStats) -> None:
+        # lazy import: repro.dataflow imports eval_const from this module
+        from .. import dataflow
+
         for function in program.functions.values():
-            _propagate_block(function.body, {})
+            cfg = dataflow.lower_function(function)
+            solution = dataflow.solve(cfg, dataflow.IntervalAnalysis())
+            for block in cfg.blocks:
+                if block.index not in solution.in_states:
+                    continue  # unreachable
+                for instr, state in solution.replay(block):
+                    _fold_instr_exprs(instr, _singletons(state))
+                out_env = _singletons(solution.out_states[block.index])
+                if block.branch is not None:
+                    block.branch.cond = fold(block.branch.cond, out_env)
+                if block.loop is not None:
+                    header_env = _singletons(
+                        solution.in_states[block.index]
+                    )
+                    loop = block.loop
+                    loop.start = fold(loop.start, header_env)
+                    loop.end = fold(loop.end, header_env)

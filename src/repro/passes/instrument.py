@@ -55,8 +55,15 @@ def placement_style(caps: Capabilities) -> str:
     return "instruction"
 
 
-def build_pipeline(caps: Capabilities, protect: bool = True) -> List[Pass]:
-    """The pass list for a tool with the given capabilities."""
+def build_pipeline(
+    caps: Capabilities, protect: bool = True, audit_elisions: bool = False
+) -> List[Pass]:
+    """The pass list for a tool with the given capabilities.
+
+    ``audit_elisions`` makes the static elision pass wrap elided checks
+    in :class:`~repro.ir.nodes.CheckElided` markers (replayed against
+    the shadow oracle at runtime) instead of deleting them.
+    """
     passes: List[Pass] = [ConstantPropagation()]
     if not protect:
         passes.append(CheckPlacement("none"))
@@ -68,9 +75,12 @@ def build_pipeline(caps: Capabilities, protect: bool = True) -> List[Pass]:
         if caps.constant_time_region:
             passes.append(ConstantOffsetMerging())
             passes.append(LoopCheckPromotion("region"))
+            # elide merged/promoted region checks the dataflow facts
+            # prove in-bounds on a live object, before caching rewrites
+            passes.append(SafeAccessElimination(audit=audit_elisions))
         else:
             # ASan--: provably-safe removal + invariant hoisting
-            passes.append(SafeAccessElimination())
+            passes.append(SafeAccessElimination(audit=audit_elisions))
             passes.append(LoopCheckPromotion("hoist"))
     if caps.history_caching:
         passes.append(HistoryCaching())
@@ -118,15 +128,18 @@ def instrument_cached(
     source: Program,
     tool: Optional[Sanitizer] = None,
     caps: Optional[Capabilities] = None,
+    audit_elisions: bool = False,
 ) -> InstrumentedProgram:
     """Like :func:`instrument`, memoized by (fingerprint, config)."""
     caps, protect = _resolve_config(tool, caps)
-    key = (program_fingerprint(source), caps, protect)
+    key = (program_fingerprint(source), caps, protect, audit_elisions)
     cached = _MEMO.get(key)
     if cached is None:
         if len(_MEMO) >= _MEMO_LIMIT:
             _MEMO.clear()
-        cached = instrument(source, tool=tool, caps=caps)
+        cached = instrument(
+            source, tool=tool, caps=caps, audit_elisions=audit_elisions
+        )
         _MEMO[key] = cached
     return cached
 
@@ -140,12 +153,15 @@ def instrument(
     source: Program,
     tool: Optional[Sanitizer] = None,
     caps: Optional[Capabilities] = None,
+    audit_elisions: bool = False,
 ) -> InstrumentedProgram:
     """Clone and instrument ``source`` for ``tool`` (or raw ``caps``)."""
     caps, protect = _resolve_config(tool, caps)
     program = source.clone()
     assign_site_ids(program)
-    pipeline = build_pipeline(caps, protect=protect)
+    pipeline = build_pipeline(
+        caps, protect=protect, audit_elisions=audit_elisions
+    )
     stats = PassManager(pipeline).run(program)
     remaining = 0
     cache_ids = set()

@@ -9,11 +9,16 @@ For instruction-level tools with elimination (ASan--), only
 loop-*invariant* checks can be hoisted (their address never changes);
 varying accesses keep their per-iteration checks, which is exactly the
 efficiency gap between ASan-- and GiantSan the ablation study measures.
+
+The pass is rebased onto the whole-function dataflow facts: when the
+interval fixpoint at a loop header proves the trip count positive
+(``end.lo > start.hi``), relocated first/last-iteration checks are
+emitted unguarded instead of wrapped in a zero-trip ``If`` guard.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..ir.nodes import (
     BinOp,
@@ -65,23 +70,54 @@ class LoopCheckPromotion(Pass):
     def run(self, program: Program, stats: PassStats) -> None:
         sites = _site_map(program)
         for function in program.functions.values():
+            positive_trips = self._positive_trip_loops(function)
             function.body = transform_blocks(
                 function.body,
-                lambda block: self._process_block(block, stats, sites),
+                lambda block: self._process_block(
+                    block, stats, sites, positive_trips
+                ),
             )
 
+    @staticmethod
+    def _positive_trip_loops(function) -> Set[int]:
+        """ids of loops whose trip count the intervals prove positive."""
+        from .. import dataflow  # lazy: dataflow lazily imports passes
+
+        cfg = dataflow.lower_function(function)
+        solution = dataflow.solve(cfg, dataflow.IntervalAnalysis())
+        proven: Set[int] = set()
+        for block in cfg.blocks:
+            if block.loop is None or block.index not in solution.in_states:
+                continue
+            state = solution.in_states[block.index]
+            start = dataflow.eval_expr(block.loop.start, state)
+            end = dataflow.eval_expr(block.loop.end, state)
+            if (
+                not start.is_bottom()
+                and not end.is_bottom()
+                and start.hi is not None
+                and end.lo is not None
+                and end.lo > start.hi
+            ):
+                proven.add(id(block.loop))
+        return proven
+
     # ------------------------------------------------------------------
-    def _process_block(self, block: List[Instr], stats, sites) -> List[Instr]:
+    def _process_block(
+        self, block: List[Instr], stats, sites, positive_trips: Set[int]
+    ) -> List[Instr]:
         result: List[Instr] = []
         for instr in block:
             if isinstance(instr, Loop):
-                promoted = self._promote_from_loop(instr, stats, sites)
+                promoted = self._promote_from_loop(
+                    instr, stats, sites, positive_trips
+                )
                 result.extend(promoted)
             result.append(instr)
         return result
 
     def _promote_from_loop(
-        self, loop: Loop, stats: PassStats, sites
+        self, loop: Loop, stats: PassStats, sites, positive_trips: Set[int]
     ) -> List[Instr]:
         killed = loop_killed_vars(loop)
         trips = trip_range(loop, killed)
@@ -90,9 +126,12 @@ class LoopCheckPromotion(Pass):
         hoisted: List[Instr] = []
         remaining: List[Instr] = []
         for instr in loop.body:
-            replacement = self._try_promote(instr, loop, killed, trips)
+            replacement = self._try_promote(
+                instr, loop, killed, trips, stats,
+                trip_positive=id(loop) in positive_trips,
+            )
             if replacement is not None:
-                hoisted.append(replacement)
+                hoisted.extend(replacement)
                 stats.promoted += 1
                 site = sites.get(getattr(instr, "site_id", -1))
                 if site is not None:
@@ -104,8 +143,9 @@ class LoopCheckPromotion(Pass):
 
     # ------------------------------------------------------------------
     def _try_promote(
-        self, instr: Instr, loop: Loop, killed, trips
-    ) -> Optional[Instr]:
+        self, instr: Instr, loop: Loop, killed, trips,
+        stats: PassStats, trip_positive: bool,
+    ) -> Optional[List[Instr]]:
         """A pre-loop replacement check for ``instr``, or None."""
         if isinstance(instr, CheckAccess):
             if instr.base in killed:
@@ -116,13 +156,15 @@ class LoopCheckPromotion(Pass):
             if self.mode == "hoist":
                 if affine.coefficient == 0:
                     # loop-invariant address: hoist the single check
-                    return CheckAccess(
-                        base=instr.base,
-                        offset=affine.offset,
-                        width=instr.width,
-                        access=instr.access,
-                        site_id=instr.site_id,
-                    )
+                    return [
+                        CheckAccess(
+                            base=instr.base,
+                            offset=affine.offset,
+                            width=instr.width,
+                            access=instr.access,
+                            site_id=instr.site_id,
+                        )
+                    ]
                 # ASan--'s check relocation for monotonic accesses: test
                 # only the first and last iterations' addresses, guarded
                 # against zero-trip loops.  (Assumes the iterated range
@@ -141,37 +183,44 @@ class LoopCheckPromotion(Pass):
                         affine.offset,
                     )
                 )
-                return If(
-                    cond=BinOp("<", loop.start, loop.end),
-                    then=[
-                        CheckAccess(
-                            base=instr.base,
-                            offset=first_offset,
-                            width=instr.width,
-                            access=instr.access,
-                            site_id=instr.site_id,
-                        ),
-                        CheckAccess(
-                            base=instr.base,
-                            offset=last_offset,
-                            width=instr.width,
-                            access=instr.access,
-                            site_id=instr.site_id,
-                        ),
-                    ],
-                )
+                relocated: List[Instr] = [
+                    CheckAccess(
+                        base=instr.base,
+                        offset=first_offset,
+                        width=instr.width,
+                        access=instr.access,
+                        site_id=instr.site_id,
+                    ),
+                    CheckAccess(
+                        base=instr.base,
+                        offset=last_offset,
+                        width=instr.width,
+                        access=instr.access,
+                        site_id=instr.site_id,
+                    ),
+                ]
+                if trip_positive:
+                    # the interval fixpoint proves the loop runs at least
+                    # once, so the zero-trip guard is dead weight
+                    stats.bump("guard_elided")
+                    return relocated
+                return [
+                    If(cond=BinOp("<", loop.start, loop.end), then=relocated)
+                ]
             bounds = offset_bounds(affine, trips, instr.width)
             if bounds is None:
                 return None
             low, high = bounds
-            return CheckRegion(
-                base=instr.base,
-                start=fold(low),
-                end=fold(high),
-                access=instr.access,
-                use_anchor=True,
-                site_id=instr.site_id,
-            )
+            return [
+                CheckRegion(
+                    base=instr.base,
+                    start=fold(low),
+                    end=fold(high),
+                    access=instr.access,
+                    use_anchor=True,
+                    site_id=instr.site_id,
+                )
+            ]
         if isinstance(instr, CheckRegion) and self.mode == "region":
             if instr.base in killed:
                 return None
@@ -183,14 +232,16 @@ class LoopCheckPromotion(Pass):
             end_bounds = offset_bounds(end_affine, trips, 0)
             if start_bounds is None or end_bounds is None:
                 return None
-            return CheckRegion(
-                base=instr.base,
-                start=fold(start_bounds[0]),
-                end=fold(end_bounds[1]),
-                access=instr.access,
-                use_anchor=instr.use_anchor,
-                site_id=instr.site_id,
-            )
+            return [
+                CheckRegion(
+                    base=instr.base,
+                    start=fold(start_bounds[0]),
+                    end=fold(end_bounds[1]),
+                    access=instr.access,
+                    use_anchor=instr.use_anchor,
+                    site_id=instr.site_id,
+                )
+            ]
         return None
 
 

@@ -1,206 +1,183 @@
-"""Provably-safe check elimination (ASan--'s static removal).
+"""Provably-safe check elision on whole-function dataflow facts.
 
-ASan-- (Zhang et al. 2022) removes a check outright when the compiler can
-prove the access stays inside its object: the object's size is a known
-constant (a ``malloc`` with constant argument, or a stack buffer) and the
-accessed offset range — constant, or affine over a constant-trip-count
-loop — fits inside it.  This pass is the reason ASan-- beats stock ASan
-on array-dominated programs like lbm even though its runtime checks are
-identical.
+ASan-- (Zhang et al. 2022) removes a check outright when the compiler
+can prove the access stays inside its object.  This pass generalizes
+that idea onto the dataflow framework (:mod:`repro.dataflow`): a check
+is *elided* when
 
-The pass is deliberately *not* part of GiantSan's pipeline: GiantSan's
-own elimination is check *merging* into O(1) region checks (§4.4.2), and
-the paper's comparison keeps those designs distinct.
+* the base pointer's provenance root and constant base offset are
+  statically known,
+* the object's size is a statically known constant,
+* the object is definitely **LIVE** at the check (allocation-state
+  analysis — an in-bounds proof says nothing about a freed object), and
+* the checked byte range, evaluated over the interval fixpoint (loop
+  induction variables clamped to their trip ranges, joins hulled), lies
+  inside ``[0, size)``.
+
+The same pass serves both pipelines: ASan--'s instruction checks and
+GiantSan's merged/promoted region checks (after merging and promotion,
+so surviving anchors and promoted loop regions elide as units).  Every
+elision is recorded as an :class:`~repro.passes.base.ElisionRecord` in
+``PassStats.elisions``; with ``audit=True`` the check is wrapped in
+:class:`~repro.ir.nodes.CheckElided` instead of deleted, so the
+interpreter can replay it against the shadow oracle and flag any
+elision that would have fired — the fuzzer's soundness audit.
+
+While the dataflow results are hot, the pass also runs the static bug
+detector and stashes its definite findings in ``PassStats.findings``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..ir.nodes import (
     Call,
     CheckAccess,
-    GlobalAlloc,
+    CheckElided,
     CheckRegion,
-    Const,
     Free,
-    If,
     Instr,
-    Load,
     Loop,
-    Malloc,
-    Memcpy,
-    Memset,
     Protection,
-    StackAlloc,
-    Store,
-    Strcpy,
 )
-from ..ir.program import Function, Program, walk
-from .alias import ProvenanceMap
-from .base import Pass, PassStats
-from .constprop import eval_const, fold
-from .loop_bounds import affine_of, loop_killed_vars, offset_bounds, trip_range
+from ..ir.program import Program, transform_blocks, walk
+from .base import ElisionRecord, Pass, PassStats
+from .check_merging import _site_map
+from .constprop import eval_const
 
 
-def _root_sizes(function: Function) -> Dict[str, int]:
-    """Constant object sizes keyed by provenance root."""
-    sizes: Dict[str, int] = {}
+def _barred_check_ids(function) -> "set":
+    """Checks inside loops whose body frees or calls.
+
+    Same conservatism as :data:`~repro.passes.loop_promotion`'s loop
+    barriers: a free (or a call that may free) in a loop body keeps
+    every per-iteration check in place, even when the allocation-state
+    fixpoint can tell the freed object apart from the checked one.
+    """
+    barred = set()
     for instr in walk(function.body):
-        if isinstance(instr, Malloc):
-            size = eval_const(instr.size)
-            if size is not None:
-                sizes[f"alloc:{id(instr)}"] = size
-        elif isinstance(instr, StackAlloc):
-            sizes[f"stack:{id(instr)}"] = instr.size
-        elif isinstance(instr, GlobalAlloc):
-            sizes[f"global:{id(instr)}"] = instr.size
-    return sizes
+        if isinstance(instr, Loop) and any(
+            isinstance(i, (Call, Free)) for i in walk(instr.body)
+        ):
+            for i in walk(instr.body):
+                if isinstance(i, (CheckAccess, CheckRegion)):
+                    barred.add(id(i))
+    return barred
 
 
 class SafeAccessElimination(Pass):
-    """Drop checks whose offset range provably fits the object."""
+    """Elide checks whose access provably stays in a live object."""
 
     name = "safe-access-elimination"
 
+    def __init__(self, audit: bool = False):
+        self.audit = audit
+
     def run(self, program: Program, stats: PassStats) -> None:
-        sites = {
-            i.site_id: i
-            for f in program.functions.values()
-            for i in walk(f.body)
-            if isinstance(i, (Load, Store, Memset, Memcpy, Strcpy))
-            and i.site_id >= 0
-        }
+        from .. import dataflow  # lazy: dataflow lazily imports passes
+
+        sites = _site_map(program)
         for function in program.functions.values():
-            pmap = ProvenanceMap(function)
-            sizes = _root_sizes(function)
-            function.body = self._process(
-                function.body, pmap, sizes, [], stats, sites
-            )
+            flow = dataflow.FunctionDataflow(function)
+            stats.findings.extend(dataflow.detect_function(flow))
+            decisions = self._decide(flow)
+            if not decisions:
+                continue
+
+            def prune(block: List[Instr]) -> List[Instr]:
+                kept: List[Instr] = []
+                for instr in block:
+                    record = decisions.get(id(instr))
+                    if record is None:
+                        kept.append(instr)
+                        continue
+                    stats.eliminated += 1
+                    stats.bump("safe_access_removed")
+                    stats.elisions.append(record)
+                    site = sites.get(getattr(instr, "site_id", -1))
+                    if site is not None:
+                        site.protection = Protection.ELIDED
+                    if self.audit:
+                        kept.append(
+                            CheckElided(inner=instr, reason=record.reason)
+                        )
+                return kept
+
+            function.body = transform_blocks(function.body, prune)
 
     # ------------------------------------------------------------------
-    def _process(
-        self,
-        block: List[Instr],
-        pmap: ProvenanceMap,
-        sizes: Dict[str, int],
-        loop_stack: List[Loop],
-        stats: PassStats,
-        sites,
-    ) -> List[Instr]:
-        result: List[Instr] = []
-        for instr in block:
-            if isinstance(instr, Free):
-                # the object's lifetime ends: in-bounds no longer implies
-                # addressable, so the proof is dead for this root (and a
-                # use-after-free must keep its check!)
-                prov = pmap.provenance(instr.ptr)
-                if prov is not None:
-                    sizes.pop(prov.root, None)
-                else:
-                    sizes.clear()
-                result.append(instr)
+    def _decide(self, flow) -> Dict[int, ElisionRecord]:
+        """``id(check) -> ElisionRecord`` for every elidable check."""
+        decisions: Dict[int, ElisionRecord] = {}
+        barred = _barred_check_ids(flow.function)
+        for block in flow.cfg.blocks:
+            if not flow.reachable(block.index):
                 continue
-            if isinstance(instr, Call):
-                # the callee may free anything it can reach
-                sizes.clear()
-                result.append(instr)
-                continue
-            if isinstance(instr, Loop):
-                # a free (or call) anywhere in the body may precede a
-                # check in a *later* iteration: invalidate up front
-                for inner in walk(instr.body):
-                    if isinstance(inner, Call):
-                        sizes.clear()
-                        break
-                    if isinstance(inner, Free):
-                        prov = pmap.provenance(inner.ptr)
-                        if prov is not None:
-                            sizes.pop(prov.root, None)
-                        else:
-                            sizes.clear()
-                            break
-                instr.body = self._process(
-                    instr.body, pmap, sizes, loop_stack + [instr], stats, sites
-                )
-                result.append(instr)
-                continue
-            if isinstance(instr, If):
-                instr.then = self._process(
-                    instr.then, pmap, sizes, loop_stack, stats, sites
-                )
-                instr.orelse = self._process(
-                    instr.orelse, pmap, sizes, loop_stack, stats, sites
-                )
-                result.append(instr)
-                continue
-            if isinstance(instr, (CheckAccess, CheckRegion)) and self._provably_safe(
-                instr, pmap, sizes, loop_stack
+            # replay yields a live state object; snapshot each step
+            alloc_states = [
+                flow.alloc_analysis.copy(state)
+                for _, state in flow.allocstate.replay(block)
+            ]
+            for position, (instr, ivals) in enumerate(
+                flow.intervals.replay(block)
             ):
-                stats.eliminated += 1
-                stats.bump("safe_access_removed")
-                site = sites.get(instr.site_id)
-                if site is not None:
-                    site.protection = Protection.ELIMINATED
-                continue
-            result.append(instr)
-        return result
+                if not isinstance(instr, (CheckAccess, CheckRegion)):
+                    continue
+                if id(instr) in barred:
+                    continue
+                record = self._elidable(
+                    flow, instr, ivals, alloc_states[position]
+                )
+                if record is not None:
+                    decisions[id(instr)] = record
+        return decisions
 
-    # ------------------------------------------------------------------
-    def _provably_safe(
-        self,
-        check,
-        pmap: ProvenanceMap,
-        sizes: Dict[str, int],
-        loop_stack: List[Loop],
-    ) -> bool:
-        prov = pmap.provenance(check.base)
+    @staticmethod
+    def _elidable(
+        flow, check: Instr, ivals, astate
+    ) -> Optional[ElisionRecord]:
+        from ..dataflow import LIVE, AllocStateAnalysis, eval_expr
+
+        prov = flow.pmap.provenance(check.base)
         if prov is None:
-            return False
-        size = sizes.get(prov.root)
+            return None
+        size = flow.sizes.get(prov.root)
         if size is None:
-            return False
+            return None
         base_off = eval_const(prov.offset)
         if base_off is None:
-            return False
+            return None
+        if AllocStateAnalysis.state_of(astate, prov.root) != LIVE:
+            # an in-bounds offset into a freed (or maybe-freed) object is
+            # still a bug the check must keep catching
+            return None
         if isinstance(check, CheckAccess):
-            span = self._offset_range(check.offset, check.width, loop_stack)
+            offset = eval_expr(check.offset, ivals)
+            if offset.is_bottom() or offset.lo is None or offset.hi is None:
+                return None
+            lo = base_off + offset.lo
+            hi = base_off + offset.hi + check.width
         else:
-            start = self._offset_range(check.start, 0, loop_stack)
-            end = self._offset_range(check.end, 0, loop_stack)
-            span = None
-            if start is not None and end is not None:
-                span = (start[0], end[1])
-        if span is None:
-            return False
-        low, high = span
-        return 0 <= base_off + low and base_off + high <= size
-
-    def _offset_range(
-        self, offset, width: int, loop_stack: List[Loop]
-    ) -> Optional[Tuple[int, int]]:
-        """Constant [min, max_end) of ``offset .. offset+width`` over all
-        enclosing constant-trip-count loops, or None."""
-        constant = eval_const(offset)
-        if constant is not None:
-            return constant, constant + width
-        # peel enclosing loops innermost-first, substituting each
-        # induction variable's extremes
-        expr = offset
-        low_expr, high_expr = expr, expr
-        for loop in reversed(loop_stack):
-            killed = loop_killed_vars(loop)
-            trips = trip_range(loop, killed)
-            if trips is None:
+            start = eval_expr(check.start, ivals)
+            end = eval_expr(check.end, ivals)
+            if start.is_bottom() or end.is_bottom():
                 return None
-            low_affine = affine_of(low_expr, loop.var, killed)
-            high_affine = affine_of(high_expr, loop.var, killed)
-            if low_affine is None or high_affine is None:
+            if start.lo is None or end.hi is None:
                 return None
-            low_expr = offset_bounds(low_affine, trips, 0)[0]
-            high_expr = offset_bounds(high_affine, trips, 0)[1]
-            low_const = eval_const(fold(low_expr))
-            high_const = eval_const(fold(high_expr))
-            if low_const is not None and high_const is not None:
-                return low_const, high_const + width
+            lo = base_off + start.lo
+            hi = base_off + end.hi
+            if check.use_anchor:
+                # the runtime widens the region to start at the anchor
+                lo = min(lo, base_off)
+        if 0 <= lo and hi <= size:
+            return ElisionRecord(
+                function=flow.function.name,
+                site_id=getattr(check, "site_id", -1),
+                root=prov.root,
+                reason=(
+                    f"bytes [{lo}, {hi}) within live object "
+                    f"{prov.root} of size {size}"
+                ),
+            )
         return None

@@ -108,3 +108,17 @@ def format_all_reports(sanitizer: Sanitizer) -> str:
     return "\n\n".join(
         format_report(sanitizer, report) for report in sanitizer.log
     )
+
+
+def format_static_findings(findings) -> str:
+    """Render instrumentation-time detector findings (StaticFinding).
+
+    These are *definite* bugs the whole-function dataflow analysis
+    proved along all paths reaching the access — reported before the
+    program ever runs, unlike the dynamic reports above.
+    """
+    if not findings:
+        return "no definite static findings"
+    lines = [f"{len(findings)} definite static finding(s):"]
+    lines.extend(f"  {finding.render()}" for finding in findings)
+    return "\n".join(lines)

@@ -213,6 +213,8 @@ def _classify(protection: Protection) -> Optional[str]:
         return "eliminated"
     if protection is Protection.CACHED:
         return "cached"
+    if protection is Protection.ELIDED:
+        return "elided"
     if protection is Protection.UNPROTECTED:
         return "unprotected"
     return None  # DIRECT: classified at the check instruction

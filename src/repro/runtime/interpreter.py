@@ -27,6 +27,7 @@ from ..ir.nodes import (
     Compute,
     CheckAccess,
     CheckCached,
+    CheckElided,
     CheckRegion,
     Const,
     Expr,
@@ -84,6 +85,21 @@ class BudgetExceeded(Exception):
     """Raised when a run exceeds its instruction budget (runaway guard)."""
 
 
+@dataclass(frozen=True)
+class ElisionAuditFailure:
+    """A statically elided check whose dynamic replay fired a report.
+
+    Produced only in audit instrumentation mode, where elided checks are
+    kept as :class:`~repro.ir.nodes.CheckElided` markers and replayed
+    against the shadow oracle.  Any instance means the static elision
+    proof was unsound for this execution.
+    """
+
+    site_id: int
+    reason: str
+    report: object  # the first ErrorReport the replay produced
+
+
 @dataclass
 class RunResult:
     """Everything a single execution produced."""
@@ -95,6 +111,9 @@ class RunResult:
     protection_counts: Counter = field(default_factory=Counter)
     return_value: Optional[int] = None
     instructions_executed: int = 0
+    elision_audit_failures: List[ElisionAuditFailure] = field(
+        default_factory=list
+    )
 
     def total_cycles(self, model: CostModel = DEFAULT_COST_MODEL) -> float:
         return model.total_cycles(self.native_cycles, self.stats)
@@ -130,6 +149,7 @@ class Interpreter:
         self.hardware_faults = 0
         self.caches: Dict[int, AccessCache] = {}
         self.protection_counts: Counter = Counter()
+        self.elision_failures: List[ElisionAuditFailure] = []
         self._functions: Dict[str, Function] = {}
 
     # ------------------------------------------------------------------
@@ -151,6 +171,7 @@ class Interpreter:
             protection_counts=self.protection_counts,
             return_value=value,
             instructions_executed=self.instructions,
+            elision_audit_failures=self.elision_failures,
         )
 
     # ------------------------------------------------------------------
@@ -267,6 +288,8 @@ class Interpreter:
             before_fast = self.san.stats.fast_checks
             self.san.check_access(address, instr.width, instr.access)
             self._classify_check(before_fast)
+        elif kind is CheckElided:
+            self._replay_elided(instr, env)
         elif kind is CheckCached:
             cache = self.caches.get(instr.cache_id)
             if cache is None:
@@ -367,6 +390,53 @@ class Interpreter:
             self._exec_block(body, env)
 
     # ------------------------------------------------------------------
+    # elision audit replay
+    # ------------------------------------------------------------------
+    def _replay_elided(self, marker: CheckElided, env: Dict[str, int]) -> None:
+        """Replay a statically elided check against the shadow oracle.
+
+        The replay must be invisible: every sanitizer counter and any
+        error report it produces are rolled back, so an audited run's
+        stats and log match the run where the check was truly deleted.
+        A report firing means the static proof was unsound — recorded
+        as an :class:`ElisionAuditFailure`.
+        """
+        inner = marker.inner
+        san = self.san
+        snapshot = dict(vars(san.stats))
+        reports_before = len(san.log.reports)
+        halt_before = san.log.halt_on_error
+        san.log.halt_on_error = False
+        try:
+            if type(inner) is CheckRegion:
+                base = env[inner.base]
+                san.check_region(
+                    base + self._eval(inner.start, env),
+                    base + self._eval(inner.end, env),
+                    inner.access,
+                    anchor=base if inner.use_anchor else None,
+                )
+            elif type(inner) is CheckAccess:
+                san.check_access(
+                    env[inner.base] + self._eval(inner.offset, env),
+                    inner.width,
+                    inner.access,
+                )
+        finally:
+            san.log.halt_on_error = halt_before
+            fired = san.log.reports[reports_before:]
+            del san.log.reports[reports_before:]
+            vars(san.stats).update(snapshot)
+        if fired:
+            self.elision_failures.append(
+                ElisionAuditFailure(
+                    site_id=inner.site_id,
+                    reason=marker.reason,
+                    report=fired[0],
+                )
+            )
+
+    # ------------------------------------------------------------------
     # Figure 10 classification
     # ------------------------------------------------------------------
     def _classify_access(self, protection: Protection) -> None:
@@ -374,6 +444,8 @@ class Interpreter:
             self.protection_counts["eliminated"] += 1
         elif protection is Protection.CACHED:
             self.protection_counts["cached"] += 1
+        elif protection is Protection.ELIDED:
+            self.protection_counts["elided"] += 1
         elif protection is Protection.UNPROTECTED:
             self.protection_counts["unprotected"] += 1
         # DIRECT accesses are classified at their check instruction.

@@ -50,7 +50,10 @@ class Session:
     :class:`~repro.fuzz.invariants.ShadowInvariantChecker` to the
     sanitizer so every allocator/frame event re-verifies shadow and
     accounting invariants (None = the ``REPRO_INVARIANTS`` process
-    default, normally off).
+    default, normally off).  ``audit_elisions`` keeps statically elided
+    checks as :class:`~repro.ir.nodes.CheckElided` markers that the
+    interpreter replays against the shadow oracle, surfacing unsound
+    elisions in ``RunResult.elision_audit_failures``.
     """
 
     def __init__(
@@ -61,6 +64,7 @@ class Session:
         fastpath: bool | None = None,
         memoize: bool | None = None,
         invariants: bool | None = None,
+        audit_elisions: bool = False,
         **sanitizer_kwargs,
     ):
         if isinstance(tool, Sanitizer):
@@ -82,6 +86,7 @@ class Session:
         self.max_instructions = max_instructions
         self.fastpath = fastpath
         self.memoize = _memoize_default() if memoize is None else memoize
+        self.audit_elisions = audit_elisions
         if invariants is None:
             invariants = _invariants_default()
         self.invariant_checker = None
@@ -95,8 +100,14 @@ class Session:
 
     def instrument(self, program: Program) -> InstrumentedProgram:
         if self.memoize:
-            return instrument_cached(program, tool=self.sanitizer)
-        return instrument(program, tool=self.sanitizer)
+            return instrument_cached(
+                program,
+                tool=self.sanitizer,
+                audit_elisions=self.audit_elisions,
+            )
+        return instrument(
+            program, tool=self.sanitizer, audit_elisions=self.audit_elisions
+        )
 
     def run(
         self, program: Program, args: Optional[List[int]] = None
