@@ -7,7 +7,14 @@ Times the full Table 2 sweep three ways and writes the committed
   (the seed interpreter's configuration);
 * ``fastpath`` — superblock fast path + instrumentation memo cache on,
   one process;
-* ``parallel`` — the same plus ``--jobs <cpu_count>`` workers.
+* ``parallel`` — the same plus ``--jobs max(cpu_count, 2)`` workers, so
+  the process-pool path is genuinely exercised even on one-core boxes
+  (where ``cpu_count`` alone would silently degrade to the inline
+  runner and record a meaningless ``jobs: 1``).
+
+Each run is also appended to ``benchmarks/results/bench_history.jsonl``
+with a timestamp and git revision, giving a cross-PR wall-clock
+trajectory alongside the committed snapshot.
 
 Run directly::
 
@@ -46,6 +53,9 @@ def _sweep(jobs: int, scale) -> dict:
     return {
         "seconds": round(elapsed, 3),
         "jobs": jobs,
+        # parallel_map caps the pool at the payload count; record the
+        # worker count the sweep actually ran with, not just the request.
+        "workers": min(jobs, len(study.rows)) if jobs > 1 else 1,
         "programs": len(study.rows),
         "tools": len(study.tools) + 1,  # + the Native baseline runs
         "geomeans": {
@@ -62,8 +72,10 @@ def main() -> int:
     configurations = {
         "baseline": dict(fastpath=False, memoize=False, jobs=1),
         "fastpath": dict(fastpath=True, memoize=True, jobs=1),
+        # at least two workers: on single-core machines cpu_count alone
+        # collapses the "parallel" configuration to the inline runner
         "parallel": dict(
-            fastpath=True, memoize=True, jobs=max(os.cpu_count() or 1, 1)
+            fastpath=True, memoize=True, jobs=max(os.cpu_count() or 1, 2)
         ),
     }
     results = {}
@@ -99,8 +111,40 @@ def main() -> int:
         ),
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    _append_history(payload)
     print(f"\nfastpath speedup: {speedup:.2f}x  -> {OUTPUT.name}")
     return 0
+
+
+def _append_history(payload: dict) -> None:
+    """Append this run to the cross-PR trajectory log."""
+    import datetime
+    import subprocess
+
+    from conftest import RESULTS_DIR
+
+    try:
+        revision = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip() or None
+    except Exception:
+        revision = None
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "revision": revision,
+        **payload,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = RESULTS_DIR / "bench_history.jsonl"
+    with history.open("a") as handle:
+        handle.write(json.dumps(record) + "\n")
+    print(f"history -> {history.relative_to(REPO_ROOT)}")
 
 
 if __name__ == "__main__":

@@ -71,6 +71,10 @@ def breakdown_to_rows(breakdowns: List[CheckBreakdown]) -> List[dict]:
             record[category] = item.counts.get(category, 0)
             record[f"{category}_fraction"] = round(item.fraction(category), 6)
         record["optimized_fraction"] = round(item.optimized_fraction, 6)
+        for extra in ("fast_checks", "slow_checks", "cached_hits",
+                      "cache_updates"):
+            if extra in item.counts:
+                record[extra] = item.counts[extra]
         rows.append(record)
     return rows
 
@@ -85,6 +89,50 @@ def traversal_to_rows(study: TraversalStudy) -> List[dict]:
         }
         for p in study.points
     ]
+
+
+def telemetry_to_rows(study) -> List[dict]:
+    """Flat per-program rows from a :class:`ProfileStudy` (CSV-friendly)."""
+    rows = []
+    for row in study.rows:
+        snap = row.snapshot
+        fast, slow = snap.fast_slow_split
+        record = {
+            "program": row.program,
+            "tool": row.tool,
+            "seconds": row.seconds,
+            "fast_check_hits": fast,
+            "slow_path_entries": slow,
+            "fast_fraction": round(snap.fast_fraction, 6),
+            "convergence_max_steps": snap.convergence_max_steps,
+            "convergence_total_steps": snap.convergence_total_steps,
+            "quarantine_peak_bytes": snap.quarantine_peak_bytes,
+        }
+        for name, value in sorted(snap.counters.items()):
+            record.setdefault(name, value)
+        rows.append(record)
+    return rows
+
+
+def profile_to_json(study) -> str:
+    """Full structured export of a :class:`ProfileStudy` — the schema
+    documented in docs/OBSERVABILITY.md.  Per-program sections keep the
+    nested counter/convergence/phase/decline structure that the flat
+    :func:`telemetry_to_rows` view drops."""
+    payload = {
+        "kind": "telemetry_profile",
+        "tool": study.tool,
+        "programs": [
+            {
+                "program": row.program,
+                "seconds": row.seconds,
+                "telemetry": row.snapshot.as_dict(),
+            }
+            for row in study.rows
+        ],
+        "totals": study.totals(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
 
 
 def to_csv(rows: List[dict]) -> str:

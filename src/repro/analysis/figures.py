@@ -74,6 +74,14 @@ def measure_check_breakdown(
         category: result.protection_counts.get(category, 0)
         for category in FIG10_CATEGORIES + ["elided"]
     }
+    # Telemetry companions to the category stack: the dynamic CI(L,R)
+    # split and quasi-bound cache traffic behind the same run.  They sit
+    # outside FIG10_CATEGORIES so fractions still partition the checked
+    # accesses.
+    counts["fast_checks"] = result.stats.fast_checks
+    counts["slow_checks"] = result.stats.slow_checks
+    counts["cached_hits"] = result.stats.cached_hits
+    counts["cache_updates"] = result.stats.cache_updates
     return CheckBreakdown(program=spec.name, counts=counts)
 
 

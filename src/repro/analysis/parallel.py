@@ -116,6 +116,15 @@ def figure11_worker(payload):
     return points
 
 
+def profile_worker(payload):
+    """One ``repro profile`` row: telemetry run of one SPEC proxy."""
+    name, tool, scale = payload
+    from ..workloads.spec import SPEC_BY_NAME
+    from .profile import profile_program
+
+    return profile_program(SPEC_BY_NAME[name], tool, scale)
+
+
 def juliet_worker(payload):
     """One contiguous slice of the Juliet suite under every tool."""
     lo, hi, tools = payload

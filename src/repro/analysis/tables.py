@@ -36,7 +36,8 @@ def render_table1(n: int = 64) -> str:
     lines = [
         "Table 1: operation-level vs instruction-level protection",
         f"{'Analysis Method':24s} {'op-level static':>16s} "
-        f"{'op-level dynamic':>17s} {'instr-level dynamic':>20s}",
+        f"{'op-level dynamic':>17s} {'instr-level dynamic':>20s} "
+        f"{'fast':>7s} {'slow':>7s}",
     ]
     for pattern in TABLE1_PATTERNS:
         program = pattern.build()
@@ -51,8 +52,14 @@ def render_table1(n: int = 64) -> str:
         )
         lines.append(
             f"{pattern.analysis:24s} {static_checks:>16d} "
-            f"{giant_checks:>17d} {asan_checks:>20d}"
+            f"{giant_checks:>17d} {asan_checks:>20d} "
+            f"{giant_run.stats.fast_checks:>7d} "
+            f"{giant_run.stats.slow_checks:>7d}"
         )
+    lines.append(
+        "(fast/slow: GiantSan CI(L,R) split — slow > 0 only when the "
+        "folded segment cannot vouch for the whole region)"
+    )
     return "\n".join(lines)
 
 
@@ -166,7 +173,8 @@ def render_figure10(breakdowns: List[CheckBreakdown]) -> str:
         "Figure 10: proportion of memory accesses per protection category",
         f"{'Program':20s} "
         + " ".join(f"{c:>12s}" for c in FIG10_CATEGORIES)
-        + f" {'optimized':>10s} {'elided':>8s}",
+        + f" {'optimized':>10s} {'elided':>8s}"
+        + f" {'fast':>9s} {'slow':>7s} {'qb-hit':>8s}",
     ]
     for item in breakdowns:
         lines.append(
@@ -176,6 +184,9 @@ def render_figure10(breakdowns: List[CheckBreakdown]) -> str:
             )
             + f" {item.optimized_fraction * 100:>9.1f}%"
             + f" {item.elided_fraction * 100:>7.1f}%"
+            + f" {item.counts.get('fast_checks', 0):>9d}"
+            + f" {item.counts.get('slow_checks', 0):>7d}"
+            + f" {item.counts.get('cached_hits', 0):>8d}"
         )
     if breakdowns:
         mean_opt = sum(b.optimized_fraction for b in breakdowns) / len(

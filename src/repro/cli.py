@@ -11,6 +11,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro fig10 --scale 2
     python -m repro fig11
     python -m repro bench --jobs 4               # timed Table 2 sweep
+    python -m repro profile --tool GiantSan      # telemetry counters
     python -m repro demo                         # quickstart bug report
 
 Experiment sweeps accept ``--jobs N`` to fan cells out across worker
@@ -102,6 +103,50 @@ def _cmd_bench(args) -> str:
     for tool, mean in study.geometric_means().items():
         lines.append(f"  geomean {tool}: {mean * 100.0:.1f}%")
     return "\n".join(lines)
+
+
+def _cmd_profile(args) -> str:
+    """Telemetry profile: fast/slow split, quasi-bound convergence, phases."""
+    from .analysis import (
+        profile_to_json,
+        render_profile,
+        run_profile_study,
+        telemetry_to_rows,
+        to_csv,
+        wiring_problems,
+    )
+    from .workloads import SPEC_BY_NAME
+
+    if args.program is not None and args.program not in SPEC_BY_NAME:
+        known = ", ".join(sorted(SPEC_BY_NAME))
+        raise SystemExit(
+            f"unknown program {args.program!r}; known programs: {known}"
+        )
+    programs = (
+        [SPEC_BY_NAME[args.program]] if args.program is not None else None
+    )
+    try:
+        study = run_profile_study(
+            tool=args.tool, programs=programs, scale=args.scale,
+            jobs=args.jobs,
+        )
+    except ValueError as exc:  # unknown tool
+        raise SystemExit(str(exc))
+    if args.format == "csv":
+        output = to_csv(telemetry_to_rows(study)).rstrip()
+    elif args.format == "json":
+        output = profile_to_json(study)
+    else:
+        output = render_profile(study)
+    if args.assert_checks:
+        problems = wiring_problems(study)
+        if problems:
+            print(output)
+            print("telemetry wiring regression:")
+            for problem in problems:
+                print(f"  {problem}")
+            raise SystemExit(1)
+    return output
 
 
 def _cmd_fuzz(args) -> str:
@@ -247,6 +292,7 @@ _COMMANDS = {
     "fig10": (_cmd_fig10, "Figure 10: check-type breakdown"),
     "fig11": (_cmd_fig11, "Figure 11: traversal patterns"),
     "bench": (_cmd_bench, "Time the Table 2 sweep (wall-clock benchmark)"),
+    "profile": (_cmd_profile, "Telemetry profile: fast/slow split + phases"),
     "fuzz": (_cmd_fuzz, "Differential fuzz: all tools, fastpath on+off"),
     "analyze": (_cmd_analyze, "Static dataflow analysis: findings + elisions"),
     "demo": (_cmd_demo, "Detect a bug and print an ASan-style report"),
@@ -261,6 +307,7 @@ _PARALLEL_COMMANDS = (
     "fig10",
     "fig11",
     "bench",
+    "profile",
     "fuzz",
 )
 
@@ -275,7 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list available experiments")
     for name, (_, help_text) in _COMMANDS.items():
         sub = subparsers.add_parser(name, help=help_text)
-        if name in ("table2", "fig10", "bench"):
+        if name in ("table2", "fig10", "bench", "profile"):
             sub.add_argument(
                 "--scale",
                 type=int,
@@ -300,6 +347,29 @@ def build_parser() -> argparse.ArgumentParser:
                 choices=["table", "csv", "json"],
                 default="table",
                 help="output format (default: the paper's table layout)",
+            )
+        if name == "profile":
+            sub.add_argument(
+                "--tool",
+                default="GiantSan",
+                help="sanitizer to profile (default GiantSan)",
+            )
+            sub.add_argument(
+                "--program",
+                default=None,
+                help="profile one Table 2 proxy instead of all of them",
+            )
+            sub.add_argument(
+                "--format",
+                choices=["table", "csv", "json"],
+                default="table",
+                help="output format (default: text table)",
+            )
+            sub.add_argument(
+                "--assert-checks",
+                action="store_true",
+                help="exit nonzero if check counters are dead (CI smoke: "
+                "all-zero fast/slow split means telemetry came unwired)",
             )
         if name == "fuzz":
             sub.add_argument(

@@ -32,6 +32,9 @@ class Quarantine:
         self._held_bytes = 0
         self.total_quarantined = 0
         self.total_evicted = 0
+        #: High-water mark of held bytes, sampled at each push before the
+        #: budget trims the queue (the telemetry occupancy metric).
+        self.peak_held_bytes = 0
 
     def _evict_oldest(self) -> Allocation:
         """Evict the queue head, keeping the accounting exception-safe.
@@ -62,6 +65,8 @@ class Quarantine:
         """
         self._queue.append(allocation)
         self._held_bytes += allocation.chunk_size
+        if self._held_bytes > self.peak_held_bytes:
+            self.peak_held_bytes = self._held_bytes
         self.total_quarantined += 1
         evicted: List[Allocation] = []
         while self._held_bytes > self.budget_bytes and self._queue:

@@ -384,26 +384,41 @@ def _compile(
 # ----------------------------------------------------------------------
 # runtime execution
 # ----------------------------------------------------------------------
+def _declined(interpreter, reason: str) -> bool:
+    """Record a decline reason when telemetry is on; always False."""
+    tele = interpreter.telemetry
+    if tele is not None:
+        tele.note_superblock_decline(reason)
+    return False
+
+
 def try_execute(interpreter, loop: Loop, values: range, env: Dict[str, int]) -> bool:
     """Run ``loop`` as a superblock if possible; False means fall back.
 
     Never partially executes: every declining branch happens before the
     first state mutation, so the tree walker can take over cleanly.
+    When the interpreter carries a telemetry registry, every decline is
+    counted by reason (the wiring-regression signal `repro profile`
+    surfaces); the disabled path adds no work beyond the decline itself.
     """
     count = len(values)
-    if count < MIN_TRIP_COUNT or interpreter._needs_resolve:
-        return False
+    if count < MIN_TRIP_COUNT:
+        return _declined(interpreter, "short_trip")
+    if interpreter._needs_resolve:
+        return _declined(interpreter, "needs_address_resolution")
     plan = analyze_loop(loop)
     if plan is None:
-        return False
+        return _declined(interpreter, "ineligible_body")
     if (
         interpreter.instructions + count * plan.body_len
         > interpreter.max_instructions
     ):
-        return False  # the reference path raises BudgetExceeded exactly
+        # the reference path raises BudgetExceeded exactly
+        return _declined(interpreter, "instruction_budget")
     for name in plan.preload:
         if name not in env:
-            return False  # the reference path raises NameError/KeyError
+            # the reference path raises NameError/KeyError
+            return _declined(interpreter, "unbound_variable")
     sanitizer = interpreter.san
     space = sanitizer.space
     total_size = space.layout.total_size
@@ -428,7 +443,8 @@ def try_execute(interpreter, loop: Loop, values: range, env: Dict[str, int]) -> 
             if lo > hi:
                 lo, hi = hi, lo
             if lo < 0 or hi + site.width > total_size:
-                return False  # reference path records hardware faults
+                # reference path records hardware faults
+                return _declined(interpreter, "address_out_of_range")
 
         folded = FoldResult()
         for check in plan.access_checks:
@@ -444,7 +460,7 @@ def try_execute(interpreter, loop: Loop, values: range, env: Dict[str, int]) -> 
                 check.access,
             )
             if result is None:
-                return False
+                return _declined(interpreter, "fold_declined")
             folded.merge(result)
         for check in plan.region_checks:
             base = env[check.base]
@@ -465,10 +481,11 @@ def try_execute(interpreter, loop: Loop, values: range, env: Dict[str, int]) -> 
                 check.use_anchor,
             )
             if result is None:
-                return False
+                return _declined(interpreter, "fold_declined")
             folded.merge(result)
     except (KeyError, NameError):
-        return False  # undefined variable: reference path raises it
+        # undefined variable: reference path raises it
+        return _declined(interpreter, "unbound_variable")
 
     plan.runner(env, values, space._mem)
 

@@ -114,6 +114,9 @@ class RunResult:
     elision_audit_failures: List[ElisionAuditFailure] = field(
         default_factory=list
     )
+    #: :class:`repro.telemetry.TelemetrySnapshot` when the session ran
+    #: with telemetry enabled; None otherwise.
+    telemetry: Optional[object] = None
 
     def total_cycles(self, model: CostModel = DEFAULT_COST_MODEL) -> float:
         return model.total_cycles(self.native_cycles, self.stats)
@@ -131,6 +134,7 @@ class Interpreter:
         native_costs: NativeCosts = NativeCosts(),
         max_instructions: int = 50_000_000,
         fastpath: Optional[bool] = None,
+        telemetry: Optional[object] = None,
     ):
         self.san = sanitizer
         # only tag-based tools need address resolution before raw access
@@ -144,6 +148,10 @@ class Interpreter:
         self.fastpath = (
             _fastpath.fastpath_enabled_default() if fastpath is None else fastpath
         )
+        #: Telemetry registry (:class:`repro.telemetry.Telemetry`) or
+        #: None; gated per loop execution / cached-check site, never per
+        #: instruction, so the disabled path stays at reference speed.
+        self.telemetry = telemetry
         self.native_cycles = 0.0
         self.instructions = 0
         self.hardware_faults = 0
@@ -162,7 +170,15 @@ class Interpreter:
         program = iprogram.program
         self._functions = program.functions
         entry = program.function(program.entry)
-        value = self._call_function(entry, list(args or []))
+        tele = self.telemetry
+        if tele is None:
+            value = self._call_function(entry, list(args or []))
+        else:
+            started = tele.profiler.begin("run")
+            try:
+                value = self._call_function(entry, list(args or []))
+            finally:
+                tele.profiler.end("run", started)
         return RunResult(
             tool=self.san.name,
             native_cycles=self.native_cycles,
@@ -172,6 +188,7 @@ class Interpreter:
             return_value=value,
             instructions_executed=self.instructions,
             elision_audit_failures=self.elision_failures,
+            telemetry=None if tele is None else tele.snapshot(self.san),
         )
 
     # ------------------------------------------------------------------
@@ -295,13 +312,28 @@ class Interpreter:
             if cache is None:
                 cache = self.san.make_cache()
                 self.caches[instr.cache_id] = cache
-            self.san.check_cached(
-                cache,
-                env[instr.base],
-                self._eval(instr.offset, env),
-                instr.width,
-                instr.access,
-            )
+            if self.telemetry is None:
+                self.san.check_cached(
+                    cache,
+                    env[instr.base],
+                    self._eval(instr.offset, env),
+                    instr.width,
+                    instr.access,
+                )
+            else:
+                # quasi-bound convergence: count each update that extended
+                # this site's cached upper bound (§4.3 claims at most
+                # ceil(log2(n/8)) of these per object on forward walks)
+                bound_before = cache.ub
+                self.san.check_cached(
+                    cache,
+                    env[instr.base],
+                    self._eval(instr.offset, env),
+                    instr.width,
+                    instr.access,
+                )
+                if cache.ub > bound_before:
+                    self.telemetry.note_convergence(instr.cache_id)
         elif kind is CacheFinalize:
             cache = self.caches.get(instr.cache_id)
             if cache is not None and cache.ub > 0:
@@ -381,13 +413,36 @@ class Interpreter:
             values = range(end - step, start - 1, -step)
         else:
             values = range(start, end, step)
-        if self.fastpath and _fastpath.try_execute(self, loop, values, env):
+        tele = self.telemetry
+        if tele is None:
+            if self.fastpath and _fastpath.try_execute(
+                self, loop, values, env
+            ):
+                return
+            body = loop.body
+            for value in values:
+                env[loop.var] = value
+                self.native_cycles += self.costs.loop_iteration
+                self._exec_block(body, env)
             return
+        # Telemetry path: identical semantics, plus superblock counters
+        # and sampled phase timing of the two hot loops.
+        profiler = tele.profiler
+        if self.fastpath:
+            started = profiler.begin("superblock")
+            taken = _fastpath.try_execute(self, loop, values, env)
+            profiler.end("superblock", started)
+            if taken:
+                tele.incr("superblock_loops")
+                tele.incr("superblock_iterations", len(values))
+                return
+        started = profiler.begin("interpreter_loop")
         body = loop.body
         for value in values:
             env[loop.var] = value
             self.native_cycles += self.costs.loop_iteration
             self._exec_block(body, env)
+        profiler.end("interpreter_loop", started)
 
     # ------------------------------------------------------------------
     # elision audit replay

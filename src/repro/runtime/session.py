@@ -19,6 +19,7 @@ from ..passes.instrument import (
 )
 from ..sanitizers import SANITIZER_FACTORIES
 from ..sanitizers.base import Sanitizer
+from ..telemetry import Telemetry, telemetry_enabled_default
 from .cost_model import CostModel, DEFAULT_COST_MODEL
 from .interpreter import Interpreter, RunResult
 
@@ -54,6 +55,13 @@ class Session:
     checks as :class:`~repro.ir.nodes.CheckElided` markers that the
     interpreter replays against the shadow oracle, surfacing unsound
     elisions in ``RunResult.elision_audit_failures``.
+
+    ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry`
+    registry (None = the ``REPRO_TELEMETRY`` process default, normally
+    off; pass an existing registry to share counters across sessions of
+    the *same* sanitizer).  When on, each run's ``RunResult.telemetry``
+    carries a counter snapshot; when off, nothing is attached and the
+    run is byte-identical to a pre-telemetry session.
     """
 
     def __init__(
@@ -65,6 +73,7 @@ class Session:
         memoize: bool | None = None,
         invariants: bool | None = None,
         audit_elisions: bool = False,
+        telemetry: bool | Telemetry | None = None,
         **sanitizer_kwargs,
     ):
         if isinstance(tool, Sanitizer):
@@ -87,6 +96,16 @@ class Session:
         self.fastpath = fastpath
         self.memoize = _memoize_default() if memoize is None else memoize
         self.audit_elisions = audit_elisions
+        if telemetry is None:
+            telemetry = telemetry_enabled_default()
+        self.telemetry = None
+        if telemetry:
+            self.telemetry = (
+                telemetry
+                if isinstance(telemetry, Telemetry)
+                else Telemetry()
+            )
+            self.telemetry.attach(self.sanitizer)
         if invariants is None:
             invariants = _invariants_default()
         self.invariant_checker = None
@@ -118,6 +137,7 @@ class Session:
             self.sanitizer,
             max_instructions=self.max_instructions,
             fastpath=self.fastpath,
+            telemetry=self.telemetry,
         )
         return interpreter.run(iprogram, args)
 

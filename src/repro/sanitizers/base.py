@@ -163,6 +163,11 @@ class Sanitizer:
         self.quarantine = Quarantine(quarantine_bytes, self._evict_chunk)
         self.log = ErrorLog(halt_on_error=halt_on_error)
         self.stats = CheckStats()
+        #: Telemetry registry (:class:`repro.telemetry.Telemetry`) when a
+        #: session enabled it; None keeps every check path untelemetered.
+        #: Check-path call sites gate on ``is not None`` so a disabled
+        #: run pays one attribute test at most.
+        self.telemetry = None
         self._poison_null_page()
 
     # ------------------------------------------------------------------

@@ -169,6 +169,10 @@ class GiantSan(Sanitizer):
             # widen to span the anchor in either direction: overflow checks
             # become CI(anchor, end), underflow checks CI(start, anchor) —
             # no redzone can be jumped over either way (§4.4.1, §4.3).
+            if self.telemetry is not None and (
+                anchor < start or anchor > end
+            ):
+                self.telemetry.incr("anchor_widened_checks")
             start = min(start, anchor)
             end = max(end, anchor)
         if end <= start:
@@ -262,6 +266,11 @@ class GiantSan(Sanitizer):
         cached (the paper creates no quasi-lower-bound; §4.3, §5.4).
         """
         if offset < 0:
+            if self.telemetry is not None:
+                # negative offsets never feed the quasi-upper-bound
+                # (§4.3); the telemetry split makes the §5.4 reverse-
+                # traversal penalty directly observable
+                self.telemetry.incr("underflow_checks")
             if self.enable_lower_bound and cache.covers_below(offset):
                 self.stats.checks_executed += 1
                 self.stats.cached_hits += 1

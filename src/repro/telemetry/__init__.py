@@ -1,0 +1,16 @@
+"""Runtime telemetry: counters, quasi-bound convergence, phase profiler.
+
+See :mod:`repro.telemetry.registry` for the design and
+``docs/OBSERVABILITY.md`` for the user-facing guide.
+"""
+
+from .profiler import PhaseProfiler, PhaseStat
+from .registry import Telemetry, TelemetrySnapshot, telemetry_enabled_default
+
+__all__ = [
+    "PhaseProfiler",
+    "PhaseStat",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "telemetry_enabled_default",
+]

@@ -68,11 +68,24 @@ class Tracer:
         # allocation traffic
         self._reports: List[TraceEvent] = []
         self._sequence = 0
+        # set by attach(); used by detach() to restore the hooks
+        self._sanitizer: Optional[Sanitizer] = None
+        self._originals: dict = {}
+        self._original_report: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     @classmethod
     def attach(cls, sanitizer: Sanitizer, capacity: int = 4096) -> "Tracer":
-        """Instrument ``sanitizer`` in place; returns the tracer."""
+        """Instrument ``sanitizer`` in place; returns the tracer.
+
+        Attaching is idempotent: a sanitizer that already has a tracer
+        returns that same tracer instead of double-wrapping the hooks
+        (which would double-record every event).  Use :meth:`detach` to
+        restore the original hooks before attaching a fresh tracer.
+        """
+        existing = getattr(sanitizer, "_tracer", None)
+        if existing is not None:
+            return existing
         tracer = cls(capacity=capacity)
 
         original_malloc = sanitizer.malloc
@@ -93,8 +106,27 @@ class Tracer:
             return allocation
 
         def traced_free(address):
-            tracer.record(EventKind.FREE, address, 0)
-            return original_free(address)
+            # Look the chunk up *before* freeing: the allocator knows the
+            # size now, and afterwards the allocation is gone.
+            allocation = sanitizer.allocator.lookup(address)
+            size = allocation.requested_size if allocation is not None else 0
+            reports_before = len(sanitizer.log.reports)
+            try:
+                result = original_free(address)
+            except BaseException as exc:
+                # halt_on_error (or a hook) raised mid-free: the trace
+                # must still say the FREE failed, not that it succeeded
+                tracer.record(
+                    EventKind.FREE, address, size,
+                    f"raised {type(exc).__name__}",
+                )
+                raise
+            # Record only after the free ran: an invalid/double free that
+            # reports must not appear in the trace as a successful FREE.
+            fired = sanitizer.log.reports[reports_before:]
+            outcome = fired[-1].kind.value if fired else "ok"
+            tracer.record(EventKind.FREE, address, size, outcome)
+            return result
 
         def traced_push(sizes, names=None):
             frame = original_push(sizes, names)
@@ -130,7 +162,34 @@ class Tracer:
         sanitizer.pop_frame = traced_pop
         sanitizer.define_global = traced_global
         sanitizer.log.report = traced_report
+        tracer._sanitizer = sanitizer
+        tracer._originals = {
+            "malloc": original_malloc,
+            "free": original_free,
+            "push_frame": original_push,
+            "pop_frame": original_pop,
+            "define_global": original_global,
+        }
+        tracer._original_report = original_report
+        sanitizer._tracer = tracer
         return tracer
+
+    def detach(self) -> None:
+        """Restore the sanitizer's original hooks; recorded events stay.
+
+        No-op for a tracer that was never attached (or already detached).
+        After detaching, :meth:`attach` may install a fresh tracer.
+        """
+        sanitizer = self._sanitizer
+        if sanitizer is None:
+            return
+        for name, original in self._originals.items():
+            setattr(sanitizer, name, original)
+        sanitizer.log.report = self._original_report
+        del sanitizer._tracer
+        self._sanitizer = None
+        self._originals = {}
+        self._original_report = None
 
     # ------------------------------------------------------------------
     def record(
@@ -176,9 +235,11 @@ class Tracer:
     def history_of(self, address: int) -> List[TraceEvent]:
         """Lifecycle events for the object containing ``address``.
 
-        Frees are recorded with size 0 (the runtime may not know the
-        size at free time), so they are matched through the base address
-        of a containing malloc/global event.
+        FREE events carry the freed chunk's requested size (looked up
+        from the allocator at free time) but are still matched through
+        the base address of a containing malloc/global event: an invalid
+        free has no size, and base matching keeps the pairing exact even
+        for those.
         """
         bases = set()
         containing: List[TraceEvent] = []

@@ -1,0 +1,59 @@
+"""Regression: ``Tracer.attach`` must be idempotent.
+
+Attaching a second tracer used to wrap the already-wrapped hooks, so a
+sanitizer shared between a trace consumer and, say, a debugging shell
+recorded every malloc/free twice (and the first tracer silently kept
+recording).  Attach now returns the existing tracer; ``detach`` restores
+the original hooks so a *fresh* tracer can be installed deliberately.
+"""
+
+from repro import ProgramBuilder, Session
+from repro.sanitizers import GiantSan
+from repro.trace import EventKind, Tracer
+
+
+def tiny_program():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.malloc("p", 32)
+        f.free("p")
+    return b.build()
+
+
+class TestDoubleAttach:
+    def test_second_attach_returns_same_tracer(self):
+        san = GiantSan()
+        first = Tracer.attach(san)
+        second = Tracer.attach(san)
+        assert second is first
+
+    def test_no_double_recording(self):
+        san = GiantSan()
+        tracer = Tracer.attach(san)
+        Tracer.attach(san)  # would have double-wrapped the hooks
+        Session(san).run(tiny_program())
+        assert len(tracer.of_kind(EventKind.MALLOC)) == 1
+        assert len(tracer.of_kind(EventKind.FREE)) == 1
+
+    def test_detach_restores_hooks(self):
+        san = GiantSan()
+        tracer = Tracer.attach(san)
+        tracer.detach()
+        Session(san).run(tiny_program())
+        assert len(tracer) == 0  # no events after detach
+
+    def test_detach_is_idempotent(self):
+        san = GiantSan()
+        tracer = Tracer.attach(san)
+        tracer.detach()
+        tracer.detach()  # second call: no-op, no AttributeError
+
+    def test_fresh_attach_after_detach(self):
+        san = GiantSan()
+        first = Tracer.attach(san)
+        first.detach()
+        second = Tracer.attach(san)
+        assert second is not first
+        Session(san).run(tiny_program())
+        assert len(first) == 0
+        assert len(second.of_kind(EventKind.MALLOC)) == 1

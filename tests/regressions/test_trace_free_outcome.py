@@ -1,0 +1,94 @@
+"""Regression: FREE trace events must reflect what the free actually did.
+
+The tracer used to record a FREE event *before* calling the sanitizer's
+real ``free`` hook, with ``size=0``.  Two visible bugs followed:
+
+* an invalid or double free appeared in the trace as a plain successful
+  FREE sequenced *ahead of* its own error report, so ``render()`` told
+  the debugging story backwards;
+* every FREE carried ``size=0``, making ``events_near`` radii and the
+  rendered trace useless for "how big was the chunk that died here?".
+
+Now the chunk size is looked up from the allocator before the free, the
+event is recorded after the hook runs, and the detail carries the
+outcome (``ok`` / the report kind / the raised exception).
+"""
+
+import pytest
+
+from repro import ProgramBuilder, Session
+from repro.errors import ErrorKind, SanitizerError
+from repro.sanitizers import GiantSan
+from repro.trace import EventKind, Tracer
+
+
+def double_free_program():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.malloc("p", 48)
+        f.free("p")
+        f.free("p")
+    return b.build()
+
+
+class TestFreeOutcome:
+    def test_free_carries_requested_size(self):
+        san = GiantSan()
+        tracer = Tracer.attach(san)
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 48)
+            f.free("p")
+        Session(san).run(b.build())
+        (free_event,) = tracer.of_kind(EventKind.FREE)
+        assert free_event.size == 48
+        assert free_event.detail == "ok"
+
+    def test_double_free_not_recorded_as_successful(self):
+        san = GiantSan()
+        tracer = Tracer.attach(san)
+        Session(san).run(double_free_program())
+        assert [r.kind for r in san.log.reports] == [ErrorKind.DOUBLE_FREE]
+        first, second = tracer.of_kind(EventKind.FREE)
+        assert first.detail == "ok"
+        assert second.detail == ErrorKind.DOUBLE_FREE.value
+
+    def test_report_sequenced_before_the_failed_free(self):
+        san = GiantSan()
+        tracer = Tracer.attach(san)
+        Session(san).run(double_free_program())
+        (report,) = tracer.of_kind(EventKind.REPORT)
+        failed_free = tracer.of_kind(EventKind.FREE)[-1]
+        assert report.sequence < failed_free.sequence
+
+    def test_invalid_free_tagged(self):
+        san = GiantSan()
+        tracer = Tracer.attach(san)
+        allocation = san.malloc(48)
+        san.free(allocation.base + 8)  # interior pointer: not a chunk base
+        (free_event,) = tracer.of_kind(EventKind.FREE)
+        assert free_event.detail == ErrorKind.INVALID_FREE.value
+        assert free_event.size == 0  # no chunk at that base to size
+
+    def test_halting_free_still_traced(self):
+        san = GiantSan(halt_on_error=True)
+        tracer = Tracer.attach(san)
+        allocation = san.malloc(32)
+        san.free(allocation.base)
+        with pytest.raises(SanitizerError):
+            san.free(allocation.base)
+        failed = tracer.of_kind(EventKind.FREE)[-1]
+        assert failed.detail == "raised SanitizerError"
+
+    def test_history_still_pairs_free_with_malloc(self):
+        san = GiantSan()
+        tracer = Tracer.attach(san)
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.malloc("p", 64)
+            f.store("p", 0, 8, 7)
+            f.free("p")
+        Session(san).run(b.build())
+        malloc_event = tracer.of_kind(EventKind.MALLOC)[0]
+        history = tracer.history_of(malloc_event.address + 16)
+        assert [e.kind for e in history] == [EventKind.MALLOC, EventKind.FREE]
