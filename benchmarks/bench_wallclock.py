@@ -1,16 +1,19 @@
-"""Wall-clock benchmark: Table 2 sweep, seed interpreter vs fast path.
+"""Wall-clock benchmark: Table 2 sweep across execution engines.
 
-Times the full Table 2 sweep three ways and writes the committed
+Times the full Table 2 sweep four ways and writes the committed
 ``BENCH_interpreter.json`` at the repository root:
 
-* ``baseline`` — fast path off, instrumentation cache off, one process
-  (the seed interpreter's configuration);
-* ``fastpath`` — superblock fast path + instrumentation memo cache on,
-  one process;
-* ``parallel`` — the same plus ``--jobs max(cpu_count, 2)`` workers, so
-  the process-pool path is genuinely exercised even on one-core boxes
-  (where ``cpu_count`` alone would silently degrade to the inline
-  runner and record a meaningless ``jobs: 1``).
+* ``baseline`` — tree walker, fast path off, instrumentation cache off,
+  one process (the seed interpreter's configuration);
+* ``fastpath`` — tree walker with superblock fast path +
+  instrumentation memo cache on, one process;
+* ``compiled`` — the compile-to-closures engine
+  (:mod:`repro.runtime.compiler`) with the same accelerations, one
+  process;
+* ``parallel`` — the compiled engine plus ``--jobs max(cpu_count, 2)``
+  workers, so the process-pool path is genuinely exercised even on
+  one-core boxes (where ``cpu_count`` alone would silently degrade to
+  the inline runner and record a meaningless ``jobs: 1``).
 
 Each run is also appended to ``benchmarks/results/bench_history.jsonl``
 with a timestamp and git revision, giving a cross-PR wall-clock
@@ -21,7 +24,10 @@ Run directly::
     PYTHONPATH=src python benchmarks/bench_wallclock.py
 
 ``REPRO_BENCH_SCALE`` scales the proxies as for the other benchmarks
-(the committed numbers use the full per-program scales).
+(the committed numbers use the full per-program scales).  Each
+configuration is timed ``REPRO_BENCH_REPEAT`` times (default 2) and the
+best run is recorded: single-shot sweeps on a busy box showed ~15%
+run-to-run swing, enough to drown the engine comparison in noise.
 """
 
 import json
@@ -38,20 +44,33 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 OUTPUT = REPO_ROOT / "BENCH_interpreter.json"
 
 
+def _repeat_count() -> int:
+    import os
+
+    return max(int(os.environ.get("REPRO_BENCH_REPEAT", "2")), 1)
+
+
 def _sweep(jobs: int, scale) -> dict:
-    """One timed Table 2 sweep; fastpath/memoize come from the REPRO_*
-    environment variables the caller pinned (workers inherit them)."""
+    """Best-of-N timed Table 2 sweeps; fastpath/memoize/engine come from
+    the REPRO_* environment variables the caller pinned (workers inherit
+    them through the pool key).  Every repeat starts from cold
+    instrumentation caches so all configurations measure the same
+    cold-start sweep."""
     from repro.analysis import PERFORMANCE_TOOLS, run_overhead_study
     from repro.passes.instrument import clear_instrumentation_cache
 
-    clear_instrumentation_cache()
-    started = time.perf_counter()
-    study = run_overhead_study(
-        tools=list(PERFORMANCE_TOOLS), scale=scale, jobs=jobs
-    )
-    elapsed = time.perf_counter() - started
+    timings = []
+    for _ in range(_repeat_count()):
+        clear_instrumentation_cache()
+        started = time.perf_counter()
+        study = run_overhead_study(
+            tools=list(PERFORMANCE_TOOLS), scale=scale, jobs=jobs
+        )
+        timings.append(time.perf_counter() - started)
+    elapsed = min(timings)
     return {
         "seconds": round(elapsed, 3),
+        "all_runs": [round(t, 3) for t in timings],
         "jobs": jobs,
         # parallel_map caps the pool at the payload count; record the
         # worker count the sweep actually ran with, not just the request.
@@ -70,12 +89,22 @@ def main() -> int:
 
     scale = bench_scale()
     configurations = {
-        "baseline": dict(fastpath=False, memoize=False, jobs=1),
-        "fastpath": dict(fastpath=True, memoize=True, jobs=1),
+        "baseline": dict(
+            fastpath=False, memoize=False, engine="tree", jobs=1
+        ),
+        "fastpath": dict(
+            fastpath=True, memoize=True, engine="tree", jobs=1
+        ),
+        "compiled": dict(
+            fastpath=True, memoize=True, engine="compiled", jobs=1
+        ),
         # at least two workers: on single-core machines cpu_count alone
         # collapses the "parallel" configuration to the inline runner
         "parallel": dict(
-            fastpath=True, memoize=True, jobs=max(os.cpu_count() or 1, 2)
+            fastpath=True,
+            memoize=True,
+            engine="compiled",
+            jobs=max(os.cpu_count() or 1, 2),
         ),
     }
     results = {}
@@ -84,13 +113,17 @@ def main() -> int:
         os.environ["REPRO_INSTRUMENT_CACHE"] = (
             "1" if config["memoize"] else "0"
         )
+        os.environ["REPRO_ENGINE"] = config["engine"]
         results[name] = _sweep(config["jobs"], scale)
+        results[name]["engine"] = config["engine"]
         print(
-            f"{name:9s} jobs={config['jobs']:<2d} "
+            f"{name:9s} engine={config['engine']:<8s} "
+            f"jobs={config['jobs']:<2d} "
             f"{results[name]['seconds']:8.2f}s"
         )
     os.environ.pop("REPRO_FASTPATH", None)
     os.environ.pop("REPRO_INSTRUMENT_CACHE", None)
+    os.environ.pop("REPRO_ENGINE", None)
 
     # The geomeans are the correctness check: every configuration must
     # reproduce the same Table 2 numbers.
@@ -99,20 +132,28 @@ def main() -> int:
         if row["geomeans"] != reference:
             raise SystemExit(f"configuration {name!r} changed the results")
 
-    speedup = results["baseline"]["seconds"] / results["fastpath"]["seconds"]
+    baseline_s = results["baseline"]["seconds"]
+    fastpath_s = results["fastpath"]["seconds"]
+    compiled_s = results["compiled"]["seconds"]
+    parallel_s = results["parallel"]["seconds"]
     payload = {
         "benchmark": "table2-sweep-wallclock",
         "scale": "full" if scale is None else scale,
         "python": sys.version.split()[0],
         "configurations": results,
-        "speedup_fastpath_vs_baseline": round(speedup, 2),
-        "speedup_parallel_vs_baseline": round(
-            results["baseline"]["seconds"] / results["parallel"]["seconds"], 2
-        ),
+        "speedup_fastpath_vs_baseline": round(baseline_s / fastpath_s, 2),
+        "speedup_compiled_vs_baseline": round(baseline_s / compiled_s, 2),
+        "speedup_compiled_vs_fastpath": round(fastpath_s / compiled_s, 2),
+        "speedup_parallel_vs_baseline": round(baseline_s / parallel_s, 2),
+        "speedup_parallel_vs_fastpath": round(fastpath_s / parallel_s, 2),
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     _append_history(payload)
-    print(f"\nfastpath speedup: {speedup:.2f}x  -> {OUTPUT.name}")
+    print(
+        f"\nfastpath {baseline_s / fastpath_s:.2f}x  "
+        f"compiled {baseline_s / compiled_s:.2f}x "
+        f"(vs fastpath {fastpath_s / compiled_s:.2f}x)  -> {OUTPUT.name}"
+    )
     return 0
 
 

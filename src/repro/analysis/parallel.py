@@ -21,17 +21,74 @@ fall back to inline execution since workers cannot rebuild them.
 
 from __future__ import annotations
 
+import atexit
+import math
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 U = TypeVar("U")
+
+#: The shared worker pool and the (process count, REPRO_* environment)
+#: key it was created under.  One ``repro`` sweep invocation runs many
+#: tables back to back; recreating a pool per table paid fork+teardown
+#: every time, which is what made ``--jobs 2`` lose to ``--jobs 1`` in
+#: earlier BENCH_interpreter.json snapshots.
+_POOL = None
+_POOL_KEY: Optional[Tuple] = None
 
 
 def default_jobs() -> int:
     """A sensible worker count for ``--jobs`` defaults: the CPU count."""
     return max(os.cpu_count() or 1, 1)
+
+
+def _pool_key(processes: int) -> Tuple:
+    """Pool identity: worker count plus the REPRO_* environment.
+
+    Fork workers inherit the parent's environment at creation time, so a
+    pool created under one configuration (engine, fastpath, …) must not
+    serve a sweep running under another.
+    """
+    toggles = tuple(
+        sorted(
+            (key, value)
+            for key, value in os.environ.items()
+            if key.startswith("REPRO_")
+        )
+    )
+    return (processes, toggles)
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (atexit hook and test isolation)."""
+    global _POOL, _POOL_KEY
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+    _POOL = None
+    _POOL_KEY = None
+
+
+atexit.register(shutdown_pool)
+
+
+def _shared_pool(processes: int):
+    """The reusable pool for ``processes`` workers, recreated only when
+    the worker count or the REPRO_* environment changed."""
+    global _POOL, _POOL_KEY
+    key = _pool_key(processes)
+    if _POOL is not None and _POOL_KEY == key:
+        return _POOL
+    shutdown_pool()
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork: workers re-import
+        context = multiprocessing.get_context()
+    _POOL = context.Pool(processes=processes)
+    _POOL_KEY = key
+    return _POOL
 
 
 def parallel_map(
@@ -43,17 +100,19 @@ def parallel_map(
     must be module-level functions and payloads picklable.  Results come
     back in submission order regardless of completion order, which is
     what makes parallel table sweeps deterministic.
+
+    Payloads are batched ``ceil(len / jobs)`` per worker (instead of one
+    task per IPC round-trip) and dispatched onto a pool shared across
+    calls, so consecutive tables of one sweep invocation reuse warm
+    workers.
     """
     payloads = list(payloads)
     jobs = max(int(jobs or 1), 1)
     if jobs == 1 or len(payloads) <= 1:
         return [worker(payload) for payload in payloads]
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # platforms without fork: workers re-import
-        context = multiprocessing.get_context()
-    with context.Pool(processes=min(jobs, len(payloads))) as pool:
-        return pool.map(worker, payloads, chunksize=1)
+    processes = min(jobs, len(payloads))
+    chunksize = math.ceil(len(payloads) / processes)
+    return _shared_pool(processes).map(worker, payloads, chunksize=chunksize)
 
 
 def chunk_ranges(total: int, jobs: int) -> List[tuple]:

@@ -15,7 +15,10 @@ Usage (installed as ``python -m repro``)::
     python -m repro demo                         # quickstart bug report
 
 Experiment sweeps accept ``--jobs N`` to fan cells out across worker
-processes; results are identical to ``--jobs 1``.
+processes; results are identical to ``--jobs 1``.  They also accept
+``--engine {tree,compiled}`` to pick the execution engine (identical
+observables, the compiled engine is just faster); the default honours
+``REPRO_ENGINE``.
 """
 
 from __future__ import annotations
@@ -336,6 +339,14 @@ def build_parser() -> argparse.ArgumentParser:
                 default=1,
                 help="worker processes for the sweep (default 1: inline)",
             )
+        if name in _PARALLEL_COMMANDS or name == "demo":
+            sub.add_argument(
+                "--engine",
+                choices=["tree", "compiled"],
+                default=None,
+                help="execution engine (default: REPRO_ENGINE or tree); "
+                "observables are identical, compiled is faster",
+            )
         if name == "table2":
             sub.add_argument(
                 "--ablation",
@@ -448,6 +459,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("\n".join(lines))
         return 0
     handler, _ = _COMMANDS[args.command]
+    if getattr(args, "engine", None):
+        # exported via the environment (not threaded through every
+        # runner) so Sessions in pool workers pick it up too
+        import os
+
+        os.environ["REPRO_ENGINE"] = args.engine
     try:
         print(handler(args))
     except BrokenPipeError:  # e.g. `python -m repro table2 | head`

@@ -13,10 +13,17 @@ import struct
 from typing import Iterable
 
 from ..errors import AddressSpaceError
+from .fillcache import fill_pattern
 from .layout import ArenaLayout
 
 _STRUCT_BY_WIDTH = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
 _MASK_BY_WIDTH = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF, 8: 0xFFFFFFFFFFFFFFFF}
+
+#: Precompiled codecs; ``struct.Struct`` methods skip the per-call format
+#: parse and are also what the compiled engine inlines for loads/stores.
+CODEC_BY_WIDTH = {
+    width: struct.Struct(fmt) for width, fmt in _STRUCT_BY_WIDTH.items()
+}
 
 
 class AddressSpace:
@@ -29,33 +36,36 @@ class AddressSpace:
 
     def __init__(self, layout: ArenaLayout = None):
         self.layout = layout or ArenaLayout()
-        self._mem = bytearray(self.layout.total_size)
+        self._size = self.layout.total_size
+        self._mem = bytearray(self._size)
 
     def __len__(self) -> int:
-        return self.layout.total_size
+        return self._size
 
     def _bounds_check(self, address: int, size: int) -> None:
-        if address < 0 or address + size > len(self._mem):
+        if address < 0 or address + size > self._size:
             raise AddressSpaceError(
                 f"access [{address:#x}, {address + size:#x}) leaves the "
-                f"simulated address space of {len(self._mem):#x} bytes"
+                f"simulated address space of {self._size:#x} bytes"
             )
 
     def load(self, address: int, width: int) -> int:
         """Load a ``width``-byte little-endian unsigned integer."""
-        fmt = _STRUCT_BY_WIDTH.get(width)
-        if fmt is None:
+        codec = CODEC_BY_WIDTH.get(width)
+        if codec is None:
             raise ValueError(f"unsupported load width: {width}")
-        self._bounds_check(address, width)
-        return struct.unpack_from(fmt, self._mem, address)[0]
+        if address < 0 or address + width > self._size:
+            self._bounds_check(address, width)
+        return codec.unpack_from(self._mem, address)[0]
 
     def store(self, address: int, width: int, value: int) -> None:
         """Store a ``width``-byte little-endian unsigned integer."""
-        fmt = _STRUCT_BY_WIDTH.get(width)
-        if fmt is None:
+        codec = CODEC_BY_WIDTH.get(width)
+        if codec is None:
             raise ValueError(f"unsupported store width: {width}")
-        self._bounds_check(address, width)
-        struct.pack_into(fmt, self._mem, address, value & _MASK_BY_WIDTH[width])
+        if address < 0 or address + width > self._size:
+            self._bounds_check(address, width)
+        codec.pack_into(self._mem, address, value & _MASK_BY_WIDTH[width])
 
     def read_bytes(self, address: int, size: int) -> bytes:
         """Copy ``size`` raw bytes out of memory."""
@@ -74,7 +84,7 @@ class AddressSpace:
         if size < 0:
             raise ValueError("size must be non-negative")
         self._bounds_check(address, size)
-        self._mem[address : address + size] = bytes([byte & 0xFF]) * size
+        self._mem[address : address + size] = fill_pattern(byte & 0xFF, size)
 
     def copy(self, dst: int, src: int, size: int) -> None:
         """memmove-style copy that tolerates overlap."""

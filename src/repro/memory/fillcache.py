@@ -1,0 +1,52 @@
+"""Cached single-byte fill patterns.
+
+``bytes([code]) * count`` shows up on every memset intrinsic and on every
+shadow poison/unpoison event; allocating a fresh pattern per call makes
+malloc/free churn generate garbage proportional to object size.  This
+module keeps one grow-only pattern buffer per byte value (there are at
+most 256) and hands out zero-copy ``memoryview`` slices of it, so a fill
+becomes one precomputed slice write.
+
+Patterns above :data:`FILL_CACHE_MAX` bytes are built on demand and not
+retained: huge fills (arena-wide initialization) happen once, and caching
+them would pin megabytes per byte value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+#: Largest pattern kept resident per byte value (64 KiB).
+FILL_CACHE_MAX = 1 << 16
+
+_PATTERNS: Dict[int, bytes] = {}
+
+
+def fill_pattern(code: int, count: int) -> Union[bytes, memoryview]:
+    """A read-only bytes-like of ``count`` copies of ``code & 0xFF``.
+
+    The result aliases a shared cached buffer — treat it as immutable and
+    consume it immediately (slice assignment, ``write_codes``, …).
+    """
+    code &= 0xFF
+    if count <= 0:
+        return b""
+    if count > FILL_CACHE_MAX:
+        return bytes([code]) * count
+    pattern = _PATTERNS.get(code)
+    if pattern is None or len(pattern) < count:
+        # Grow in doubling steps so repeated slightly-larger requests do
+        # not rebuild the buffer each time.
+        size = 256
+        while size < count:
+            size <<= 1
+        pattern = bytes([code]) * size
+        _PATTERNS[code] = pattern
+    if len(pattern) == count:
+        return pattern
+    return memoryview(pattern)[:count]
+
+
+def clear_fill_patterns() -> None:
+    """Drop all cached patterns (test isolation hook)."""
+    _PATTERNS.clear()

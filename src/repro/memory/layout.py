@@ -85,39 +85,24 @@ class ArenaLayout:
     stack_size: int = 1 << 20
     globals_size: int = 1 << 18
 
+    # Derived bounds (``heap_base`` .. ``total_size``) are materialized
+    # once in ``__post_init__`` rather than exposed as properties: the
+    # bounds checks on every load/store read them, so recomputing the
+    # arena sums per access was a measurable fraction of sweep wall-clock.
+
     def __post_init__(self) -> None:
         for name in ("heap_size", "stack_size", "globals_size"):
             value = getattr(self, name)
             if value <= 0 or not is_aligned(value, SEGMENT_SIZE):
                 raise ValueError(f"{name} must be positive and 8-byte aligned")
-
-    @property
-    def heap_base(self) -> int:
-        return NULL_GUARD_SIZE
-
-    @property
-    def heap_end(self) -> int:
-        return self.heap_base + self.heap_size
-
-    @property
-    def stack_base(self) -> int:
-        return self.heap_end
-
-    @property
-    def stack_end(self) -> int:
-        return self.stack_base + self.stack_size
-
-    @property
-    def globals_base(self) -> int:
-        return self.stack_end
-
-    @property
-    def globals_end(self) -> int:
-        return self.globals_base + self.globals_size
-
-    @property
-    def total_size(self) -> int:
-        return self.globals_end
+        assign = object.__setattr__
+        assign(self, "heap_base", NULL_GUARD_SIZE)
+        assign(self, "heap_end", NULL_GUARD_SIZE + self.heap_size)
+        assign(self, "stack_base", self.heap_end)
+        assign(self, "stack_end", self.stack_base + self.stack_size)
+        assign(self, "globals_base", self.stack_end)
+        assign(self, "globals_end", self.globals_base + self.globals_size)
+        assign(self, "total_size", self.globals_end)
 
     def arena_of(self, address: int) -> str:
         """Name of the arena containing ``address``.

@@ -7,11 +7,23 @@ from .cost_model import (
     SanitizerCosts,
     geometric_mean,
 )
+from .compiler import (
+    CompiledEngine,
+    compile_function,
+    compile_program,
+    engine_default,
+    resolve_engine,
+)
 from .fastpath import LoopPlan, analyze_loop, fastpath_enabled_default
 from .interpreter import BudgetExceeded, Interpreter, RunResult, run_program
 from .session import Session, run_with_tools
 
 __all__ = [
+    "CompiledEngine",
+    "compile_function",
+    "compile_program",
+    "engine_default",
+    "resolve_engine",
     "CostModel",
     "DEFAULT_COST_MODEL",
     "NativeCosts",

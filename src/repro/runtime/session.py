@@ -20,6 +20,7 @@ from ..passes.instrument import (
 from ..sanitizers import SANITIZER_FACTORIES
 from ..sanitizers.base import Sanitizer
 from ..telemetry import Telemetry, telemetry_enabled_default
+from .compiler import resolve_engine
 from .cost_model import CostModel, DEFAULT_COST_MODEL
 from .interpreter import Interpreter, RunResult
 
@@ -62,6 +63,12 @@ class Session:
     the *same* sanitizer).  When on, each run's ``RunResult.telemetry``
     carries a counter snapshot; when off, nothing is attached and the
     run is byte-identical to a pre-telemetry session.
+
+    ``engine`` selects the execution engine: ``"tree"`` (the reference
+    tree-walking interpreter) or ``"compiled"`` (the compile-to-closures
+    engine in :mod:`repro.runtime.compiler`, observation-equivalent and
+    differentially tested).  None resolves the ``REPRO_ENGINE`` process
+    default, which is ``tree``.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class Session:
         invariants: bool | None = None,
         audit_elisions: bool = False,
         telemetry: bool | Telemetry | None = None,
+        engine: str | None = None,
         **sanitizer_kwargs,
     ):
         if isinstance(tool, Sanitizer):
@@ -94,6 +102,7 @@ class Session:
         self.cost_model = cost_model
         self.max_instructions = max_instructions
         self.fastpath = fastpath
+        self.engine = resolve_engine(engine)
         self.memoize = _memoize_default() if memoize is None else memoize
         self.audit_elisions = audit_elisions
         if telemetry is None:
@@ -133,7 +142,7 @@ class Session:
     ) -> RunResult:
         """Instrument and execute ``program`` under this session's tool."""
         iprogram = self.instrument(program)
-        interpreter = Interpreter(
+        interpreter = self.engine(
             self.sanitizer,
             max_instructions=self.max_instructions,
             fastpath=self.fastpath,

@@ -154,6 +154,11 @@ class Sanitizer:
         self.layout = layout or ArenaLayout()
         self.space = AddressSpace(self.layout)
         self.shadow = ShadowMemory(self.layout.total_size)
+        # bounds used on every single check: cached as plain attributes
+        # so hot paths skip the layout attribute chain
+        self._total_size = self.layout.total_size
+        self._heap_base = self.layout.heap_base
+        self._heap_end = self.layout.heap_end
         self.redzone = redzone
         self.allocator = HeapAllocator(
             self.space, redzone=redzone, size_policy=size_policy

@@ -185,15 +185,20 @@ class GiantSan(Sanitizer):
         return ok
 
     def _ci(self, left: int, right: int) -> bool:
-        """``CI(L, R)`` with head alignment handling; counts shadow loads."""
-        if left < 0 or right > self.layout.total_size:
+        """``CI(L, R)`` with head alignment handling; counts shadow loads.
+
+        Shadow probes read the raw shadow bytearray directly: ``CI`` runs
+        on every operation-level check, and the ``ShadowMemory.load``
+        call overhead dwarfs the one-byte read it wraps.
+        """
+        if left < 0 or right > self._total_size:
             return False  # wild access: no shadow exists for it
         head = left & (SEGMENT_SIZE - 1)
         if head:
             # Unaligned L: validate the tail of the first segment, then
             # restart Algorithm 1 from the next segment boundary.
             self.stats.shadow_loads += 1
-            code = self.shadow.load(left >> 3)
+            code = self.shadow._shadow[left >> 3]
             segment_end = (left | (SEGMENT_SIZE - 1)) + 1
             needed_end = min(right, segment_end)
             prefix = enc.addressable_prefix(code)
@@ -206,31 +211,32 @@ class GiantSan(Sanitizer):
 
     def _ci_aligned(self, left: int, right: int) -> bool:
         """Algorithm 1 verbatim (L is a multiple of 8)."""
-        shadow = self.shadow
+        stats = self.stats
+        shadow = self.shadow._shadow
         first_index = left >> 3
-        self.stats.shadow_loads += 1
-        v = shadow.load(first_index)  # line 1
+        stats.shadow_loads += 1
+        v = shadow[first_index]  # line 1
         u = (1 << (67 - v)) if v <= _FOLDED_MAX else 0  # line 2
         span = right - left
         if u >= span:  # line 3: fast check passed
-            self.stats.fast_checks += 1
+            stats.fast_checks += 1
             return True
-        self.stats.slow_checks += 1
+        stats.slow_checks += 1
         loaded = {first_index}
         if span >= SEGMENT_SIZE:  # line 4
             if 2 * u < span:  # line 5: prefix folding too small
                 return False
             suffix_index = (right - u) >> 3  # line 8
             if suffix_index not in loaded:
-                self.stats.shadow_loads += 1
+                stats.shadow_loads += 1
                 loaded.add(suffix_index)
-            if shadow.load(suffix_index) != v:
+            if shadow[suffix_index] != v:
                 return False
         last_index = (right - 1) >> 3  # line 12
         if last_index not in loaded:
-            self.stats.shadow_loads += 1
+            stats.shadow_loads += 1
             loaded.add(last_index)
-        if shadow.load(last_index) > enc.PARTIAL_BASE - (right & 7):
+        if shadow[last_index] > enc.PARTIAL_BASE - (right & 7):
             return False
         return True
 

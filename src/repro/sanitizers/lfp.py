@@ -113,15 +113,20 @@ class LFP(Sanitizer):
         lies in *some* live region — matching its behaviour when the tag
         recovery falls back to the address value.
         """
-        self.stats.checks_executed += 1
-        self.stats.instruction_checks += 1
-        self.stats.extra_instructions += CHECK_ARITHMETIC_OVERHEAD
-        arena = self.space.arena_of(address)
-        if arena == "null":
-            # a null pointer derives no low-fat region: always caught
-            self._report(ErrorKind.NULL_DEREFERENCE, address, width, access)
-            return False
-        if arena != "heap":
+        stats = self.stats
+        stats.checks_executed += 1
+        stats.instruction_checks += 1
+        stats.extra_instructions += CHECK_ARITHMETIC_OVERHEAD
+        # inline arena classification: the heap arena starts right after
+        # the null guard, so anything below heap_base (and non-negative)
+        # is the null page; stack/globals/wild are unprotected
+        if not self._heap_base <= address < self._heap_end:
+            if 0 <= address < self._heap_base:
+                # a null pointer derives no low-fat region: always caught
+                self._report(
+                    ErrorKind.NULL_DEREFERENCE, address, width, access
+                )
+                return False
             return True  # stack/globals are unprotected
         allocation = self._find_region(address)
         if allocation is None:
@@ -151,22 +156,23 @@ class LFP(Sanitizer):
         """Bounds test ``[start, end) subset-of region(anchor)`` in O(1)."""
         if end <= start:
             return True
-        self.stats.checks_executed += 1
+        stats = self.stats
+        stats.checks_executed += 1
         # LFP's operation-level test compiles to the same compare+branch
         # as an instruction check (no metadata load, no CI call): charge
         # it as one.
-        self.stats.instruction_checks += 1
-        self.stats.extra_instructions += CHECK_ARITHMETIC_OVERHEAD
+        stats.instruction_checks += 1
+        stats.extra_instructions += CHECK_ARITHMETIC_OVERHEAD
         base = anchor if anchor is not None else start
-        arena = self.space.arena_of(base)
-        if arena == "null":
-            self._report(
-                ErrorKind.NULL_DEREFERENCE, start, end - start, access
-            )
-            return False
-        if arena != "heap":
+        # inline arena classification (see check_access)
+        if not self._heap_base <= base < self._heap_end:
+            if 0 <= base < self._heap_base:
+                self._report(
+                    ErrorKind.NULL_DEREFERENCE, start, end - start, access
+                )
+                return False
             return True
-        allocation = self._lookup(base)
+        allocation = self._bounds.get(base)
         if allocation is None:
             allocation = self._find_region(base)
         if allocation is None:

@@ -15,7 +15,8 @@ head of the object absorbs the highest degree.
 
 from __future__ import annotations
 
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 #: Maximum folding degree.  The paper reserves six shadow bits for the
 #: degree (§1: "six shadow bits are sufficient"), so degrees are
@@ -39,6 +40,23 @@ def degree_for_remaining(remaining: int) -> int:
     return min(floor_log2(remaining), MAX_DEGREE)
 
 
+@lru_cache(maxsize=4096)
+def _fold_runs(good_segments: int) -> Tuple[tuple, ...]:
+    """Memoized (degree, run_length) pairs, keyed on the segment count.
+
+    Allocator hooks recompute the folding for the same handful of object
+    sizes on every malloc/free; the run decomposition depends only on the
+    segment count, so an LRU turns poisoning into a table lookup.
+    """
+    runs: List[tuple] = []
+    remaining = good_segments
+    while remaining > 0:
+        degree = degree_for_remaining(remaining)
+        runs.append((degree, remaining - (1 << degree) + 1))
+        remaining = (1 << degree) - 1
+    return tuple(runs)
+
+
 def fold_degrees(good_segments: int) -> List[int]:
     """Degrees for each of ``good_segments`` consecutive good segments.
 
@@ -48,26 +66,18 @@ def fold_degrees(good_segments: int) -> List[int]:
     if good_segments < 0:
         raise ValueError("good_segments must be non-negative")
     degrees: List[int] = []
-    remaining = good_segments
-    while remaining > 0:
-        degree = degree_for_remaining(remaining)
+    for degree, run_length in _fold_runs(good_segments):
         # All segments whose remaining count is still >= 2^degree share it.
-        run_length = remaining - (1 << degree) + 1
         degrees.extend([degree] * run_length)
-        remaining = (1 << degree) - 1
     return degrees
 
 
 def run_lengths(good_segments: int) -> List[tuple]:
     """(degree, run_length) pairs for ``good_segments`` good segments,
     ordered from the object base; a compact form of :func:`fold_degrees`."""
-    runs: List[tuple] = []
-    remaining = good_segments
-    while remaining > 0:
-        degree = degree_for_remaining(remaining)
-        runs.append((degree, remaining - (1 << degree) + 1))
-        remaining = (1 << degree) - 1
-    return runs
+    if good_segments <= 0:
+        return []
+    return list(_fold_runs(good_segments))
 
 
 def verify_degrees(degrees: List[int]) -> bool:

@@ -19,13 +19,14 @@ encoding module.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Optional
 
 from ..errors import ErrorKind
 from ..memory.allocator import Allocation
 from ..memory.layout import SEGMENT_SIZE, segment_index
 from . import asan_encoding
-from .folding import MAX_DEGREE, fold_degrees, run_lengths
+from .folding import MAX_DEGREE, run_lengths
 from .shadow_memory import ShadowMemory
 
 #: Code for a plain good segment: (0)-folded.
@@ -110,19 +111,28 @@ def classify(code: int) -> ErrorKind:
     return ErrorKind.UNKNOWN
 
 
+@lru_cache(maxsize=4096)
+def _object_codes_cached(size: int) -> bytes:
+    good, tail = divmod(size, SEGMENT_SIZE)
+    codes = bytearray()
+    for degree, run in run_lengths(good):
+        codes.extend(bytes([encode_folded(degree)]) * run)
+    if tail:
+        codes.append(encode_partial(tail))
+    return bytes(codes)
+
+
 def object_codes(size: int) -> bytes:
     """The shadow code sequence for an object of ``size`` bytes.
 
     ``size // 8`` good segments get folded codes (Figure 5); a trailing
-    ``size % 8`` tail becomes a partial segment.
+    ``size % 8`` tail becomes a partial segment.  The sequence depends
+    only on ``size`` and is immutable, so it is memoized: repeated
+    malloc/free of the same size class poisons from a precomputed table.
     """
     if size < 0:
         raise ValueError("size must be non-negative")
-    good, tail = divmod(size, SEGMENT_SIZE)
-    codes = bytearray(encode_folded(d) for d in fold_degrees(good))
-    if tail:
-        codes.append(encode_partial(tail))
-    return bytes(codes)
+    return _object_codes_cached(size)
 
 
 def poison_object_shadow(shadow: ShadowMemory, base: int, size: int) -> int:
@@ -134,18 +144,12 @@ def poison_object_shadow(shadow: ShadowMemory, base: int, size: int) -> int:
 
 
 def poison_object_shadow_fast(shadow: ShadowMemory, base: int, size: int) -> int:
-    """Run-length variant of :func:`poison_object_shadow` using
-    :func:`run_lengths`; identical output, fewer Python-level writes."""
-    index = segment_index(base)
-    good, tail = divmod(size, SEGMENT_SIZE)
-    written = 0
-    for degree, run in run_lengths(good):
-        shadow.fill(index + written, run, encode_folded(degree))
-        written += run
-    if tail:
-        shadow.store(index + written, encode_partial(tail))
-        written += 1
-    return written
+    """Memoized-table variant of :func:`poison_object_shadow`; identical
+    output, one precomputed slice write per call (the cached sequence is
+    handed to the shadow through the zero-copy ``poison_codes`` path)."""
+    codes = object_codes(size)
+    shadow.poison_codes(segment_index(base), codes)
+    return len(codes)
 
 
 def poison_allocation(shadow: ShadowMemory, allocation: Allocation) -> None:

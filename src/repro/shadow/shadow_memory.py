@@ -8,6 +8,7 @@ moves bytes; *what the bytes mean* is defined by the encoding modules
 
 from __future__ import annotations
 
+from ..memory.fillcache import fill_pattern
 from ..memory.layout import SEGMENT_SHIFT, SEGMENT_SIZE
 
 
@@ -50,12 +51,26 @@ class ShadowMemory:
             )
 
     def fill(self, index: int, count: int, code: int) -> None:
-        """Set ``count`` consecutive shadow bytes to ``code``."""
+        """Set ``count`` consecutive shadow bytes to ``code``.
+
+        Uses the shared fill-pattern cache, so poisoning an object is one
+        precomputed slice write rather than a fresh ``bytes`` build.
+        """
         self._range_check(index, count)
-        self._shadow[index : index + count] = bytes([code & 0xFF]) * count
+        self._shadow[index : index + count] = fill_pattern(code, count)
 
     def write_codes(self, index: int, codes: bytes) -> None:
         """Write a pre-computed code sequence (used by segment folding)."""
+        self._range_check(index, len(codes))
+        self._shadow[index : index + len(codes)] = codes
+
+    def poison_codes(self, index: int, codes) -> None:
+        """Write a precomputed code sequence from any bytes-like view.
+
+        Unlike :meth:`write_codes` this is documented to accept a
+        ``memoryview`` (or any buffer), letting allocator hooks hand the
+        cached poison tables straight through without a copy.
+        """
         self._range_check(index, len(codes))
         self._shadow[index : index + len(codes)] = codes
 
