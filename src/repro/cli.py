@@ -18,7 +18,9 @@ Experiment sweeps accept ``--jobs N`` to fan cells out across worker
 processes; results are identical to ``--jobs 1``.  They also accept
 ``--engine {tree,compiled}`` to pick the execution engine (identical
 observables, the compiled engine is just faster); the default honours
-``REPRO_ENGINE``.
+``REPRO_ENGINE``.  Likewise ``--shadow {bytearray,numpy}`` picks the
+shadow-plane backend (identical observables, the numpy plane vectorizes
+bulk scans and poisoning); the default honours ``REPRO_SHADOW``.
 """
 
 from __future__ import annotations
@@ -347,6 +349,14 @@ def build_parser() -> argparse.ArgumentParser:
                 help="execution engine (default: REPRO_ENGINE or tree); "
                 "observables are identical, compiled is faster",
             )
+            sub.add_argument(
+                "--shadow",
+                choices=["bytearray", "numpy"],
+                default=None,
+                help="shadow-plane backend (default: REPRO_SHADOW or "
+                "bytearray); observables are identical, numpy vectorizes "
+                "bulk shadow scans and poisoning",
+            )
         if name == "table2":
             sub.add_argument(
                 "--ablation",
@@ -459,12 +469,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("\n".join(lines))
         return 0
     handler, _ = _COMMANDS[args.command]
-    if getattr(args, "engine", None):
+    if getattr(args, "engine", None) or getattr(args, "shadow", None):
         # exported via the environment (not threaded through every
         # runner) so Sessions in pool workers pick it up too
         import os
 
-        os.environ["REPRO_ENGINE"] = args.engine
+        if getattr(args, "engine", None):
+            os.environ["REPRO_ENGINE"] = args.engine
+        if getattr(args, "shadow", None):
+            os.environ["REPRO_SHADOW"] = args.shadow
     try:
         print(handler(args))
     except BrokenPipeError:  # e.g. `python -m repro table2 | head`

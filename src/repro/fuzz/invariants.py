@@ -208,7 +208,7 @@ class ShadowInvariantChecker:
             first, count = self._object_segments(
                 allocation.base, allocation.usable_size
             )
-            actual = bytes(shadow.region(first, count))
+            actual = bytes(shadow.view(first, count))
             if actual != expected:
                 failures.append(
                     f"GiantSan object #{allocation.allocation_id} shadow "
@@ -231,7 +231,7 @@ class ShadowInvariantChecker:
             first, count = self._object_segments(
                 allocation.base, allocation.usable_size
             )
-            codes = shadow.region(first, count)
+            codes = shadow.view(first, count)
             if any(code != enc.HEAP_FREED for code in codes):
                 failures.append(
                     f"quarantined object #{allocation.allocation_id} not "
@@ -249,7 +249,7 @@ class ShadowInvariantChecker:
             first, count = self._object_segments(
                 allocation.base, allocation.usable_size
             )
-            actual = bytes(shadow.region(first, count))
+            actual = bytes(shadow.view(first, count))
             if actual != expected:
                 failures.append(
                     f"ASan object #{allocation.allocation_id} shadow "
@@ -260,7 +260,7 @@ class ShadowInvariantChecker:
             first, count = self._object_segments(
                 allocation.base, allocation.usable_size
             )
-            codes = shadow.region(first, count)
+            codes = shadow.view(first, count)
             if any(code != enc.HEAP_FREED for code in codes):
                 failures.append(
                     f"quarantined object #{allocation.allocation_id} not "
@@ -274,7 +274,7 @@ class ShadowInvariantChecker:
         failures = []
         left_segments = allocation.left_redzone >> 3
         if left_segments:
-            codes = shadow.region(
+            codes = shadow.view(
                 segment_index(allocation.chunk_base), left_segments
             )
             if any(code != enc.HEAP_LEFT_REDZONE for code in codes):
@@ -287,7 +287,7 @@ class ShadowInvariantChecker:
         )
         end_seg = segment_index(allocation.chunk_end)
         if end_seg > first_rz:
-            codes = shadow.region(first_rz, end_seg - first_rz)
+            codes = shadow.view(first_rz, end_seg - first_rz)
             if any(code != enc.HEAP_RIGHT_REDZONE for code in codes):
                 failures.append(
                     f"object #{allocation.allocation_id} right redzone not "

@@ -3,23 +3,33 @@
 ``bytes([code]) * count`` shows up on every memset intrinsic and on every
 shadow poison/unpoison event; allocating a fresh pattern per call makes
 malloc/free churn generate garbage proportional to object size.  This
-module keeps one grow-only pattern buffer per byte value (there are at
-most 256) and hands out zero-copy ``memoryview`` slices of it, so a fill
-becomes one precomputed slice write.
+module keeps one pattern buffer per byte value (there are at most 256)
+and hands out zero-copy ``memoryview`` slices of it, so a fill becomes
+one precomputed slice write.
 
 Patterns above :data:`FILL_CACHE_MAX` bytes are built on demand and not
 retained: huge fills (arena-wide initialization) happen once, and caching
-them would pin megabytes per byte value.
+them would pin megabytes per byte value.  The cache as a whole is bounded
+by :data:`FILL_CACHE_TOTAL_MAX`: buffers are kept in LRU order and the
+coldest are evicted when the total resident bytes exceed the budget, so a
+workload that sweeps many byte values with large fills cannot pin
+``256 * FILL_CACHE_MAX`` bytes forever.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Union
+from collections import OrderedDict
+from typing import Union
 
 #: Largest pattern kept resident per byte value (64 KiB).
 FILL_CACHE_MAX = 1 << 16
 
-_PATTERNS: Dict[int, bytes] = {}
+#: Total resident budget across all byte values (1 MiB).  Eviction is
+#: LRU and always leaves at least the most-recently-used pattern.
+FILL_CACHE_TOTAL_MAX = 1 << 20
+
+_PATTERNS: "OrderedDict[int, bytes]" = OrderedDict()
+_RESIDENT_BYTES = 0
 
 
 def fill_pattern(code: int, count: int) -> Union[bytes, memoryview]:
@@ -28,6 +38,7 @@ def fill_pattern(code: int, count: int) -> Union[bytes, memoryview]:
     The result aliases a shared cached buffer — treat it as immutable and
     consume it immediately (slice assignment, ``write_codes``, …).
     """
+    global _RESIDENT_BYTES
     code &= 0xFF
     if count <= 0:
         return b""
@@ -40,13 +51,33 @@ def fill_pattern(code: int, count: int) -> Union[bytes, memoryview]:
         size = 256
         while size < count:
             size <<= 1
+        if pattern is not None:
+            _RESIDENT_BYTES -= len(pattern)
         pattern = bytes([code]) * size
         _PATTERNS[code] = pattern
+        _RESIDENT_BYTES += size
+        _PATTERNS.move_to_end(code)
+        while _RESIDENT_BYTES > FILL_CACHE_TOTAL_MAX and len(_PATTERNS) > 1:
+            _, evicted = _PATTERNS.popitem(last=False)
+            _RESIDENT_BYTES -= len(evicted)
+    else:
+        _PATTERNS.move_to_end(code)
     if len(pattern) == count:
         return pattern
     return memoryview(pattern)[:count]
 
 
+def fill_cache_stats() -> dict:
+    """Current cache occupancy (introspection / regression tests)."""
+    return {
+        "patterns": len(_PATTERNS),
+        "resident_bytes": _RESIDENT_BYTES,
+        "budget": FILL_CACHE_TOTAL_MAX,
+    }
+
+
 def clear_fill_patterns() -> None:
     """Drop all cached patterns (test isolation hook)."""
+    global _RESIDENT_BYTES
     _PATTERNS.clear()
+    _RESIDENT_BYTES = 0

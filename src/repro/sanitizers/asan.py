@@ -17,7 +17,7 @@ from ..memory.allocator import Allocation
 from ..memory.layout import SEGMENT_SIZE, segment_index, segment_offset
 from ..memory.stack import StackFrame
 from ..shadow import asan_encoding as enc
-from ..shadow.oracle import bulk_region_is_addressable, scan_codes
+from ..shadow.oracle import bulk_region_is_addressable, scan_region
 from .base import Capabilities, FoldResult, Sanitizer
 
 
@@ -44,15 +44,17 @@ def _straddle_count(address: int, stride: int, width: int, count: int) -> int:
     return full_cycles * per_period + tail
 
 
-def _write_global_states(shadow, variable, good_code: int) -> None:
+def _write_global_states(shadow, variable, good_code: int) -> int:
     """Object byte-states for one global (the surrounding arena is
-    already pre-poisoned with the global redzone code)."""
+    already pre-poisoned with the global redzone code).  Returns the
+    shadow bytes written."""
     index = segment_index(variable.base)
     full, tail = divmod(variable.size, SEGMENT_SIZE)
     if full:
         shadow.fill(index, full, good_code)
     if tail:
         shadow.store(index + full, tail)
+    return full + (1 if tail else 0)
 
 
 class ASan(Sanitizer):
@@ -97,13 +99,16 @@ class ASan(Sanitizer):
     FREE_BOOKKEEPING = 40
 
     def _poison_alloc(self, allocation: Allocation) -> None:
-        enc.poison_allocation(self.shadow, allocation)
-        self.stats.shadow_stores += allocation.chunk_size >> 3
+        # shadow-store traffic is charged as the bytes the poisoning
+        # actually wrote (the encoding reports them), so the counter
+        # stays comparable across shadow backends and size policies
+        self.stats.shadow_stores += enc.poison_allocation(
+            self.shadow, allocation
+        )
         self.stats.extra_instructions += self.ALLOC_BOOKKEEPING
 
     def _poison_free(self, allocation: Allocation) -> None:
-        enc.poison_freed(self.shadow, allocation)
-        self.stats.shadow_stores += (allocation.usable_size + 7) >> 3
+        self.stats.shadow_stores += enc.poison_freed(self.shadow, allocation)
         self.stats.extra_instructions += self.FREE_BOOKKEEPING
 
     def _unpoison_chunk(self, allocation: Allocation) -> None:
@@ -114,13 +119,17 @@ class ASan(Sanitizer):
         pass
 
     def _poison_global(self, variable) -> None:
-        _write_global_states(self.shadow, variable, enc.GOOD)
-        self.stats.shadow_stores += (variable.size + 15) >> 3
+        # charge exactly the object-state bytes written (the arena's
+        # redzone pre-poison happened at construction time)
+        self.stats.shadow_stores += _write_global_states(
+            self.shadow, variable, enc.GOOD
+        )
 
     def _poison_stack_frame(self, frame: StackFrame) -> None:
         first = segment_index(frame.base)
         count = (frame.size + SEGMENT_SIZE - 1) >> 3
         self.shadow.fill(first, count, enc.STACK_MID_REDZONE)
+        written = count
         for var in frame.variables:
             index = segment_index(var.base)
             full, tail = divmod(var.size, SEGMENT_SIZE)
@@ -128,7 +137,8 @@ class ASan(Sanitizer):
                 self.shadow.fill(index, full, enc.GOOD)
             if tail:
                 self.shadow.store(index + full, tail)
-        self.stats.shadow_stores += count
+            written += full + (1 if tail else 0)
+        self.stats.shadow_stores += written
 
     def _poison_stack_pop(self, frame: StackFrame) -> None:
         first = segment_index(frame.base)
@@ -191,10 +201,11 @@ class ASan(Sanitizer):
         ASan ignores ``anchor`` — it protects only the touched bytes,
         which is what makes its redzones bypassable (paper §4.4.1).
 
-        Implemented with the bulk shadow scan (one slice fetch plus
-        ``translate``/``find``) but *accounted* per segment: shadow loads
-        and segments scanned are charged for every segment the reference
-        walk would have visited, so CheckStats are byte-identical.
+        Implemented with the backend's zero-copy bulk shadow scan (no
+        snapshot is taken) but *accounted* per segment: shadow loads and
+        segments scanned are charged for every segment the reference
+        walk would have visited, so CheckStats are byte-identical across
+        both engines and both shadow backends.
         """
         if end <= start:
             return True
@@ -205,16 +216,15 @@ class ASan(Sanitizer):
                 ErrorKind.WILD_ACCESS, start, end - start, access, detail="wild"
             )
             return False
-        first = segment_index(start)
-        codes = self.shadow.region(first, segment_index(end - 1) - first + 1)
-        ok, fault, visited = scan_codes(
-            codes, first, start, end, enc.addressable_prefix
+        ok, fault, visited = scan_region(
+            self.shadow, start, end, enc.addressable_prefix
         )
         self.stats.shadow_loads += visited
         self.stats.segments_scanned += visited
         if ok:
             return True
-        self._report_code(codes[visited - 1], fault, end - start, access)
+        code = self.shadow.load(segment_index(start) + visited - 1)
+        self._report_code(code, fault, end - start, access)
         return False
 
     # ------------------------------------------------------------------

@@ -111,8 +111,9 @@ class GiantSan(Sanitizer):
         )
 
     def _poison_global(self, variable) -> None:
-        enc.poison_object_shadow_fast(self.shadow, variable.base, variable.size)
-        self.stats.shadow_stores += (variable.size + 7) >> 3
+        self.stats.shadow_stores += enc.poison_object_shadow_fast(
+            self.shadow, variable.base, variable.size
+        )
 
     #: Flat extra work per malloc/free, matching ASan's bookkeeping (the
     #: paper keeps redzones and quarantine unchanged, §4.5).
@@ -120,13 +121,15 @@ class GiantSan(Sanitizer):
     FREE_BOOKKEEPING = 40
 
     def _poison_alloc(self, allocation: Allocation) -> None:
-        enc.poison_allocation(self.shadow, allocation)
-        self.stats.shadow_stores += allocation.chunk_size >> 3
+        # charge the bytes the encoding reports having written, keeping
+        # the counter honest across shadow backends and size policies
+        self.stats.shadow_stores += enc.poison_allocation(
+            self.shadow, allocation
+        )
         self.stats.extra_instructions += self.ALLOC_BOOKKEEPING
 
     def _poison_free(self, allocation: Allocation) -> None:
-        enc.poison_freed(self.shadow, allocation)
-        self.stats.shadow_stores += (allocation.usable_size + 7) >> 3
+        self.stats.shadow_stores += enc.poison_freed(self.shadow, allocation)
         self.stats.extra_instructions += self.FREE_BOOKKEEPING
 
     def _unpoison_chunk(self, allocation: Allocation) -> None:
@@ -138,9 +141,12 @@ class GiantSan(Sanitizer):
         first = segment_index(frame.base)
         count = (frame.size + SEGMENT_SIZE - 1) >> 3
         self.shadow.fill(first, count, enc.STACK_MID_REDZONE)
+        written = count
         for var in frame.variables:
-            enc.poison_object_shadow_fast(self.shadow, var.base, var.size)
-        self.stats.shadow_stores += count
+            written += enc.poison_object_shadow_fast(
+                self.shadow, var.base, var.size
+            )
+        self.stats.shadow_stores += written
 
     def _poison_stack_pop(self, frame: StackFrame) -> None:
         first = segment_index(frame.base)

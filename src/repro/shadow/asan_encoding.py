@@ -73,52 +73,66 @@ def addressable_prefix(code: int) -> int:
     return 0
 
 
-def poison_allocation(shadow: ShadowMemory, allocation: Allocation) -> None:
+def poison_allocation(shadow: ShadowMemory, allocation: Allocation) -> int:
     """Set shadow for a fresh heap allocation: good object + redzones.
 
     The object's interior segments become GOOD; a trailing partial
     segment gets its k code; left/right redzones get poison.  Chunks are
     segment-aligned so no two objects share a segment (paper footnote 2).
+    Returns the shadow bytes written — including the slack double-write,
+    which really does touch those segments twice.
     """
-    _write_object_states(shadow, allocation.base, allocation.requested_size)
+    written = _write_object_states(
+        shadow, allocation.base, allocation.requested_size
+    )
     slack = allocation.usable_size - allocation.requested_size
     if slack:
         # Rounded-up policies (BBC/LFP) leave the slack *addressable*:
         # that is precisely their false-negative source.
-        _write_object_states(shadow, allocation.base, allocation.usable_size)
+        written += _write_object_states(
+            shadow, allocation.base, allocation.usable_size
+        )
     left_segments = allocation.left_redzone >> 3
     if left_segments:
         shadow.fill(
             segment_index(allocation.chunk_base), left_segments, HEAP_LEFT_REDZONE
         )
+        written += left_segments
     first_rz = segment_index(allocation.base + allocation.usable_size + 7)
     end_seg = segment_index(allocation.chunk_end)
     if end_seg > first_rz:
         shadow.fill(first_rz, end_seg - first_rz, HEAP_RIGHT_REDZONE)
+        written += end_seg - first_rz
+    return written
 
 
-def _write_object_states(shadow: ShadowMemory, base: int, size: int) -> None:
+def _write_object_states(shadow: ShadowMemory, base: int, size: int) -> int:
     index = segment_index(base)
     full, tail = divmod(size, SEGMENT_SIZE)
     if full:
         shadow.fill(index, full, GOOD)
     if tail:
         shadow.store(index + full, tail)
+    return full + (1 if tail else 0)
 
 
-def poison_freed(shadow: ShadowMemory, allocation: Allocation) -> None:
-    """Mark a freed object's whole usable region as HEAP_FREED."""
+def poison_freed(shadow: ShadowMemory, allocation: Allocation) -> int:
+    """Mark a freed object's whole usable region as HEAP_FREED; returns
+    the shadow bytes written."""
     index = segment_index(allocation.base)
     count = (allocation.usable_size + SEGMENT_SIZE - 1) >> 3
     shadow.fill(index, count, HEAP_FREED)
+    return count
 
 
-def unpoison_chunk(shadow: ShadowMemory, allocation: Allocation) -> None:
+def unpoison_chunk(shadow: ShadowMemory, allocation: Allocation) -> int:
     """Clear the whole chunk back to GOOD (on quarantine eviction the
-    address range becomes reusable raw memory)."""
+    address range becomes reusable raw memory); returns the shadow bytes
+    written."""
     index = segment_index(allocation.chunk_base)
     count = allocation.chunk_size >> 3
     shadow.fill(index, count, GOOD)
+    return count
 
 
 def check_small_access(

@@ -111,15 +111,36 @@ def classify(code: int) -> ErrorKind:
     return ErrorKind.UNKNOWN
 
 
-@lru_cache(maxsize=4096)
-def _object_codes_cached(size: int) -> bytes:
-    good, tail = divmod(size, SEGMENT_SIZE)
+#: Objects with at least this many good segments build their code
+#: sequence through the vectorized ``np.repeat`` expansion; below it the
+#: plain bytes-multiply loop wins (run counts are O(log n) either way,
+#: the crossover is the numpy call overhead).  The produced bytes are
+#: identical on both sides (property-tested), so the threshold is purely
+#: a build-cost knob.
+_VECTORIZE_MIN_SEGMENTS = 256
+
+
+def _expand_codes(runs, tail: int) -> bytes:
+    """Reference run expansion: degree runs then the partial tail."""
     codes = bytearray()
-    for degree, run in run_lengths(good):
+    for degree, run in runs:
         codes.extend(bytes([encode_folded(degree)]) * run)
     if tail:
         codes.append(encode_partial(tail))
     return bytes(codes)
+
+
+@lru_cache(maxsize=4096)
+def _object_codes_cached(size: int) -> bytes:
+    good, tail = divmod(size, SEGMENT_SIZE)
+    runs = run_lengths(good)
+    if good >= _VECTORIZE_MIN_SEGMENTS:
+        try:
+            from .numpy_shadow import expand_codes_array
+        except ImportError:
+            return _expand_codes(runs, tail)
+        return expand_codes_array(runs, tail)
+    return _expand_codes(runs, tail)
 
 
 def object_codes(size: int) -> bytes:
@@ -152,38 +173,48 @@ def poison_object_shadow_fast(shadow: ShadowMemory, base: int, size: int) -> int
     return len(codes)
 
 
-def poison_allocation(shadow: ShadowMemory, allocation: Allocation) -> None:
+def poison_allocation(shadow: ShadowMemory, allocation: Allocation) -> int:
     """Shadow setup for a fresh heap allocation under GiantSan.
 
     Identical to ASan's poisoning except the object's interior receives
     folding degrees instead of uniform zeros (paper §4.5, "Shadow
     Poisoning").  Rounding slack from BBC/LFP-style policies is folded in
-    as addressable, matching their semantics.
+    as addressable, matching their semantics.  Returns the shadow bytes
+    written, the quantity the telemetry shadow-traffic counters record.
     """
-    poison_object_shadow_fast(shadow, allocation.base, allocation.usable_size)
+    written = poison_object_shadow_fast(
+        shadow, allocation.base, allocation.usable_size
+    )
     left_segments = allocation.left_redzone >> 3
     if left_segments:
         shadow.fill(
             segment_index(allocation.chunk_base), left_segments, HEAP_LEFT_REDZONE
         )
+        written += left_segments
     first_rz = segment_index(allocation.base + allocation.usable_size + 7)
     end_seg = segment_index(allocation.chunk_end)
     if end_seg > first_rz:
         shadow.fill(first_rz, end_seg - first_rz, HEAP_RIGHT_REDZONE)
+        written += end_seg - first_rz
+    return written
 
 
-def poison_freed(shadow: ShadowMemory, allocation: Allocation) -> None:
-    """Mark a freed object's region as HEAP_FREED (quarantine entry)."""
+def poison_freed(shadow: ShadowMemory, allocation: Allocation) -> int:
+    """Mark a freed object's region as HEAP_FREED (quarantine entry);
+    returns the shadow bytes written."""
     index = segment_index(allocation.base)
     count = (allocation.usable_size + SEGMENT_SIZE - 1) >> 3
     shadow.fill(index, count, HEAP_FREED)
+    return count
 
 
-def unpoison_chunk(shadow: ShadowMemory, allocation: Allocation) -> None:
-    """Reset a recycled chunk's shadow to plain good segments."""
+def unpoison_chunk(shadow: ShadowMemory, allocation: Allocation) -> int:
+    """Reset a recycled chunk's shadow to plain good segments; returns
+    the shadow bytes written."""
     index = segment_index(allocation.chunk_base)
     count = allocation.chunk_size >> 3
     shadow.fill(index, count, GOOD)
+    return count
 
 
 def refold_region(shadow: ShadowMemory, base: int, size: int) -> None:

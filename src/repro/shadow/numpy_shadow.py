@@ -1,0 +1,159 @@
+"""Vectorized shadow plane: ``numpy.uint8`` kernels over the shadow array.
+
+The reference :class:`~repro.shadow.shadow_memory.ShadowMemory` spends
+its bulk time in three places: redzone fills, region addressability
+scans, and (for GiantSan) folding-code construction.  This backend
+reimplements each as a vectorized array op while keeping every
+observable byte-identical:
+
+* the ndarray is a **zero-copy alias** of the same ``bytearray`` the
+  reference backend uses (``numpy.frombuffer`` of a writable buffer), so
+  the sanitizers' inlined scalar probes (``shadow._shadow[i]`` in
+  ``GiantSan._ci`` / ``ASan.check_access``) keep working unchanged and
+  stay fast — Python-int loads, no ``numpy`` scalar boxing leaking into
+  error reports;
+* bulk fills broadcast one scalar instead of building/copying a fill
+  pattern;
+* region scans reduce to one elementwise comparison plus ``argmax``.
+  Both shadow encodings are *monotone* — fully-addressable codes form
+  the prefix ``[0, k)`` of the code space (ASan: ``code == 0``;
+  GiantSan: ``code <= 64``) — so "first non-full segment" is
+  ``(codes >= k).argmax()``, a two-pass SIMD sweep instead of a
+  translate table walk.  Non-monotone flag tables (exotic test oracles)
+  fall back to a fancy-indexing lookup, still byte-exact.
+
+Small scans fall back to the reference ``translate``/``find`` path:
+below a few dozen segments the numpy call overhead costs more than the
+C-level search, and the alias makes the fallback free.
+
+Construction of GiantSan's folding-degree sequences is exposed here as
+:func:`expand_codes_array` (``np.repeat`` over the run-length
+decomposition) and used by
+:func:`repro.shadow.giantsan_encoding.object_codes` for large objects on
+*both* backends — the bytes produced are identical, only the build cost
+changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..memory.layout import SEGMENT_SIZE
+from .folding import MAX_DEGREE
+from .shadow_memory import SHADOW_BACKENDS, ShadowMemory
+
+#: Scans shorter than this many segments take the reference
+#: ``translate``/``find`` path: numpy's per-call overhead (~1µs) exceeds
+#: the whole C-level search for small slices.  Results are identical on
+#: either side of the threshold (property-tested).
+SCAN_VECTOR_MIN = 48
+
+#: Fills shorter than this take the reference fill-pattern path for the
+#: same reason.
+FILL_VECTOR_MIN = 32
+
+#: Parsed predicate per ``full_flags`` table: ("threshold", k) when the
+#: non-full codes are exactly ``[k, 256)``, ("table", ndarray) otherwise,
+#: ("all_full", None) when every code is fully addressable.
+_PREDICATES: Dict[bytes, Tuple[str, object]] = {}
+
+
+def _not_full_predicate(full_flags: bytes) -> Tuple[str, object]:
+    entry = _PREDICATES.get(full_flags)
+    if entry is None:
+        flags = bytes(full_flags)
+        k = flags.find(1)
+        if k < 0:
+            entry = ("all_full", None)
+        elif flags == b"\x00" * k + b"\x01" * (256 - k):
+            entry = ("threshold", k)
+        else:
+            entry = ("table", np.frombuffer(flags, dtype=np.uint8).copy())
+        _PREDICATES[full_flags] = entry
+    return entry
+
+
+class NumpyShadowMemory(ShadowMemory):
+    """Shadow plane with vectorized bulk kernels.
+
+    The ndarray and the inherited ``bytearray`` alias the same memory,
+    so scalar paths (``load``/``store``/direct ``_shadow`` probes) are
+    inherited unchanged and every mutation is visible through both
+    views.
+    """
+
+    backend = "numpy"
+    vectorized = True
+
+    def __init__(self, memory_size: int):
+        super().__init__(memory_size)
+        # frombuffer over a writable buffer yields a *writable* ndarray
+        # aliasing the bytearray: zero-copy interop in both directions.
+        self._np = np.frombuffer(self._shadow, dtype=np.uint8)
+
+    def fill(self, index: int, count: int, code: int) -> None:
+        if count < FILL_VECTOR_MIN:
+            ShadowMemory.fill(self, index, count, code)
+            return
+        self._range_check(index, count)
+        self._np[index : index + count] = code & 0xFF
+
+    def array_view(self, index: int, count: int) -> np.ndarray:
+        """Zero-copy ``uint8`` ndarray slice (the vectorized analogue of
+        :meth:`~repro.shadow.shadow_memory.ShadowMemory.view`)."""
+        self._range_check(index, count)
+        return self._np[index : index + count]
+
+    def find_not_full(self, index: int, count: int, full_flags: bytes) -> int:
+        if count < SCAN_VECTOR_MIN:
+            return ShadowMemory.find_not_full(self, index, count, full_flags)
+        self._range_check(index, count)
+        kind, arg = _not_full_predicate(full_flags)
+        if kind == "all_full":
+            return -1
+        codes = self._np[index : index + count]
+        if kind == "threshold":
+            flags = codes >= arg
+        else:
+            flags = arg[codes] != 0
+        # argmax returns the first True, or 0 when no element is True.
+        pos = int(flags.argmax())
+        return pos if flags[pos] else -1
+
+
+SHADOW_BACKENDS["numpy"] = NumpyShadowMemory
+
+
+# ----------------------------------------------------------------------
+# vectorized folding-code construction (GiantSan §4.1 / Figure 5)
+# ----------------------------------------------------------------------
+def expand_codes_array(runs, tail: int) -> bytes:
+    """Expand ``(degree, run_length)`` pairs to shadow codes via
+    ``np.repeat``.
+
+    Byte-identical to the reference list-extend expansion in
+    :mod:`repro.shadow.giantsan_encoding` (codes ``64 - degree`` per
+    run, one ``72 - tail`` partial code appended for a ``tail``-byte
+    remainder); property tests pin the equality across run shapes
+    including the degree-``MAX_DEGREE`` cap.
+    """
+    parts = []
+    if runs:
+        for degree, run in runs:
+            if not 0 <= degree <= MAX_DEGREE:
+                raise ValueError(f"folding degree out of range: {degree}")
+            if run < 0:
+                raise ValueError(f"negative run length: {run}")
+        degrees = np.array([64 - degree for degree, _ in runs], dtype=np.uint8)
+        lengths = np.array([run for _, run in runs], dtype=np.int64)
+        parts.append(np.repeat(degrees, lengths))
+    if tail:
+        if not 1 <= tail <= SEGMENT_SIZE - 1:
+            raise ValueError(f"partial byte count out of range: {tail}")
+        parts.append(np.array([72 - tail], dtype=np.uint8))
+    if not parts:
+        return b""
+    codes = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return codes.tobytes()

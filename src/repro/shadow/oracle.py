@@ -82,14 +82,16 @@ def first_poison_code(
 # ----------------------------------------------------------------------
 # bulk scanning (segment-folding analogue for the simulator itself)
 # ----------------------------------------------------------------------
-# The per-segment walk above is the reference semantics.  The bulk scan
-# below answers the same question over a whole shadow *slice* with two
-# bytes-level primitives: ``translate`` maps every code to a one-byte
-# full/partial flag, and ``find`` locates the first non-full segment.
-# Only that single segment then needs the per-code arithmetic, so a
-# region of N segments costs O(N) C-level work instead of N Python-level
-# iterations.  Property tests cross-validate it against
-# :func:`region_is_addressable` on randomized shadow states.
+# The per-segment walk above is the reference semantics.  The bulk scans
+# below answer the same question over a whole shadow *slice*: every code
+# maps to a one-byte full/partial flag and the first non-full segment is
+# located by the shadow backend's ``find_not_full`` primitive (C-level
+# ``translate``/``find`` on the bytearray plane, a comparison reduction
+# on the numpy plane).  Only that single segment then needs the per-code
+# arithmetic, so a region of N segments costs O(N) C/SIMD-level work —
+# zero-copy, straight over the live shadow storage — instead of N
+# Python-level iterations.  Property tests cross-validate both backends
+# against :func:`region_is_addressable` on randomized shadow states.
 
 #: 256-entry tables per prefix function, built once and memoized.
 _TABLE_CACHE: dict = {}
@@ -155,13 +157,44 @@ def scan_codes(
     return True, None, pos + 1
 
 
+def scan_region(
+    shadow: ShadowMemory,
+    start: int,
+    end: int,
+    prefix_of: PrefixFn,
+) -> Tuple[bool, Optional[int], int]:
+    """Bulk equivalent of :func:`region_is_addressable`, zero-copy.
+
+    Same contract as :func:`scan_codes`, but the slice search runs
+    through the shadow backend's ``find_not_full`` primitive directly on
+    live shadow storage — no snapshot is taken.  ``segments_visited`` is
+    exactly the number of segments the reference walk would have
+    examined, on every backend.
+    """
+    if end <= start:
+        return True, None, 0
+    prefixes, full_flags = scan_tables(prefix_of)
+    first = segment_index(start)
+    count = segment_index(end - 1) - first + 1
+    pos = shadow.find_not_full(first, count, full_flags)
+    if pos < 0:
+        return True, None, count
+    index = first + pos
+    segment_base = index * SEGMENT_SIZE
+    address = start if pos == 0 else segment_base
+    prefix = prefixes[shadow.load(index)]
+    if address - segment_base >= prefix:
+        return False, address, pos + 1
+    segment_end = segment_base + SEGMENT_SIZE
+    addressable_until = segment_base + prefix
+    if addressable_until < min(end, segment_end):
+        return False, addressable_until, pos + 1
+    return True, None, pos + 1
+
+
 def bulk_region_is_addressable(
     shadow: ShadowMemory, start: int, end: int, prefix_of: PrefixFn
 ) -> Tuple[bool, Optional[int]]:
     """Drop-in fast replacement for :func:`region_is_addressable`."""
-    if end <= start:
-        return True, None
-    first = segment_index(start)
-    codes = shadow.region(first, segment_index(end - 1) - first + 1)
-    ok, fault, _ = scan_codes(codes, first, start, end, prefix_of)
+    ok, fault, _ = scan_region(shadow, start, end, prefix_of)
     return ok, fault

@@ -4,12 +4,36 @@ Both ASan and GiantSan map the application address ``a`` to the shadow
 index ``a >> 3`` (paper §2.2).  This module stores the shadow array and
 moves bytes; *what the bytes mean* is defined by the encoding modules
 (:mod:`repro.shadow.asan_encoding`, :mod:`repro.shadow.giantsan_encoding`).
+
+Two interchangeable backends implement the store:
+
+* ``bytearray`` — this module's :class:`ShadowMemory`, the reference
+  plane: plain ``bytearray`` with C-level ``translate``/``find`` bulk
+  scans;
+* ``numpy`` — :class:`repro.shadow.numpy_shadow.NumpyShadowMemory`, a
+  ``numpy.uint8`` view over the *same* buffer with vectorized fills and
+  comparison-reduction scans.
+
+Select one per sanitizer with ``Session(shadow=...)``, process wide with
+``REPRO_SHADOW``, or on the CLI with ``--shadow`` — exactly the switch
+shape the execution engine uses.  Both backends are byte-identical in
+every observable (codes, stats, error reports); the differential suite
+runs the full engine × shadow matrix to prove it.
 """
 
 from __future__ import annotations
 
+import os
+from typing import Optional
+
 from ..memory.fillcache import fill_pattern
 from ..memory.layout import SEGMENT_SHIFT, SEGMENT_SIZE
+
+
+def shadow_backend_default() -> str:
+    """Process-wide default shadow backend (``REPRO_SHADOW``)."""
+    value = os.environ.get("REPRO_SHADOW", "bytearray").strip().lower()
+    return value or "bytearray"
 
 
 class ShadowMemory:
@@ -19,6 +43,11 @@ class ShadowMemory:
     :meth:`index_of` to map an address.  All values are unsigned bytes
     (0..255); ASan's signed interpretation is applied by its encoding.
     """
+
+    #: Registry name of this backend (subclasses override).
+    backend = "bytearray"
+    #: True when bulk kernels run as vectorized array ops.
+    vectorized = False
 
     def __init__(self, memory_size: int):
         if memory_size % SEGMENT_SIZE:
@@ -68,8 +97,9 @@ class ShadowMemory:
         """Write a precomputed code sequence from any bytes-like view.
 
         Unlike :meth:`write_codes` this is documented to accept a
-        ``memoryview`` (or any buffer), letting allocator hooks hand the
-        cached poison tables straight through without a copy.
+        ``memoryview`` (or any buffer, including a ``numpy`` array),
+        letting allocator hooks hand the cached poison tables straight
+        through without a copy.
         """
         self._range_check(index, len(codes))
         self._shadow[index : index + len(codes)] = codes
@@ -79,6 +109,16 @@ class ShadowMemory:
         self._range_check(index, count)
         return bytes(self._shadow[index : index + count])
 
+    def view(self, index: int, count: int) -> memoryview:
+        """Zero-copy view of ``count`` shadow bytes starting at ``index``.
+
+        The view aliases live shadow storage: later stores are visible
+        through it.  Callers that need a stable snapshot (for example to
+        compare before/after states) must use :meth:`region` instead.
+        """
+        self._range_check(index, count)
+        return memoryview(self._shadow)[index : index + count]
+
     def codes_for_range(self, address: int, size: int) -> bytes:
         """Shadow bytes covering the byte range ``[address, address+size)``."""
         if size <= 0:
@@ -86,3 +126,57 @@ class ShadowMemory:
         first = self.index_of(address)
         last = self.index_of(address + size - 1)
         return self.region(first, last - first + 1)
+
+    # ------------------------------------------------------------------
+    # bulk scanning primitive (backend-dispatched)
+    # ------------------------------------------------------------------
+    def find_not_full(self, index: int, count: int, full_flags: bytes) -> int:
+        """Offset of the first non-fully-addressable segment, or -1.
+
+        ``full_flags`` is a 256-entry table mapping fully-addressable
+        codes to ``0`` and everything else to ``1`` (see
+        :func:`repro.shadow.oracle.scan_tables`).  This is the one
+        primitive every bulk region scan reduces to, so backends override
+        it with their fastest whole-slice search: here a C-level
+        ``translate`` + ``find``, in the numpy backend a comparison
+        reduction.
+        """
+        self._range_check(index, count)
+        return self._shadow[index : index + count].translate(full_flags).find(1)
+
+
+#: Backend registry, engine-switch style.  The numpy backend registers
+#: itself on import; :func:`resolve_shadow_backend` imports it lazily so
+#: a bytearray-only process never pays the numpy import.
+SHADOW_BACKENDS = {"bytearray": ShadowMemory}
+
+_KNOWN_BACKENDS = ("bytearray", "numpy")
+
+
+def resolve_shadow_backend(backend: Optional[str]) -> type:
+    """Map a backend name (or None = process default) to its class."""
+    name = (
+        shadow_backend_default()
+        if backend is None
+        else str(backend).strip().lower()
+    )
+    if name == "numpy" and name not in SHADOW_BACKENDS:
+        try:
+            from . import numpy_shadow  # noqa: F401  (registers itself)
+        except ImportError as exc:
+            raise ValueError(
+                "the numpy shadow backend needs the numpy package "
+                f"(import failed: {exc})"
+            ) from None
+    try:
+        return SHADOW_BACKENDS[name]
+    except KeyError:
+        known = ", ".join(_KNOWN_BACKENDS)
+        raise ValueError(
+            f"unknown shadow backend {name!r}; known backends: {known}"
+        ) from None
+
+
+def make_shadow(memory_size: int, backend: Optional[str] = None) -> ShadowMemory:
+    """Construct a shadow plane on the selected backend."""
+    return resolve_shadow_backend(backend)(memory_size)
