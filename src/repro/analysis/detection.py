@@ -11,7 +11,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..runtime import Session
-from ..workloads.juliet import JulietCase, TABLE3_CWES, generate_juliet_suite
+from ..workloads.juliet import (
+    JulietCase,
+    TABLE3_CWES,
+    generate_juliet_suite,  # noqa: F401  (re-exported study surface)
+    juliet_suite_cached,
+)
 from ..workloads.linux_flaw import CveScenario, TABLE4_SCENARIOS
 from ..workloads.magma import (
     TABLE5_CONFIGS,
@@ -53,19 +58,27 @@ def run_juliet_study(
     """
     tools = tools or DETECTION_TOOLS
     use_parallel = jobs > 1 and cases is None
-    cases = cases if cases is not None else generate_juliet_suite()
+    cases = cases if cases is not None else juliet_suite_cached()
     detected: Dict[str, Dict[str, int]] = {t: defaultdict(int) for t in tools}
     totals: Dict[str, int] = defaultdict(int)
     latent: Dict[str, int] = defaultdict(int)
     false_positives: Dict[str, int] = {t: 0 for t in tools}
     if use_parallel:
-        from .parallel import chunk_ranges, juliet_worker, parallel_map
+        from .parallel import juliet_worker, parallel_map, steal_spans
 
+        # finer-grained than one span per worker so stealing can rescue
+        # a straggling slice; case-index keyed results keep the merge
+        # byte-identical to the sequential run for any granularity
         payloads = [
-            (lo, hi, tools) for lo, hi in chunk_ranges(len(cases), jobs)
+            (lo, hi, tools) for lo, hi in steal_spans(len(cases), jobs)
         ]
         outcomes: Dict[int, Dict[str, bool]] = {}
-        for slice_outcomes in parallel_map(juliet_worker, payloads, jobs):
+        for slice_outcomes in parallel_map(
+            juliet_worker,
+            payloads,
+            jobs,
+            shard_keys=[("juliet", lo) for lo, _, _ in payloads],
+        ):
             for index, row in slice_outcomes:
                 outcomes[index] = row
         errored = lambda case_index, tool: outcomes[case_index][tool]
@@ -119,7 +132,12 @@ def run_linux_flaw_study(
         from .parallel import linux_flaw_worker, parallel_map
 
         payloads = [(index, tools) for index in range(len(scenarios))]
-        for cve_id, row in parallel_map(linux_flaw_worker, payloads, jobs):
+        for cve_id, row in parallel_map(
+            linux_flaw_worker,
+            payloads,
+            jobs,
+            shard_keys=[("cve", index) for index in range(len(scenarios))],
+        ):
             outcomes[cve_id] = row
         return CveResults(outcomes=outcomes, scenarios=list(scenarios))
     for scenario in scenarios:
@@ -153,7 +171,12 @@ def run_magma_study(projects=None, jobs: int = 1) -> MagmaResults:
         detected = {}
         totals = {}
         for name, per_config, total in parallel_map(
-            magma_worker, payloads, jobs
+            magma_worker,
+            payloads,
+            jobs,
+            shard_keys=[
+                ("magma", project.name) for project in projects
+            ],
         ):
             detected[name] = per_config
             totals[name] = total

@@ -98,7 +98,10 @@ def run_figure10_study(
         SPEC_BY_NAME.get(spec.name) is spec for spec in programs
     ):
         return parallel_map(
-            figure10_worker, [(spec.name, scale) for spec in programs], jobs
+            figure10_worker,
+            [(spec.name, scale) for spec in programs],
+            jobs,
+            shard_keys=[spec.name for spec in programs],
         )
     return [measure_check_breakdown(spec, scale) for spec in programs]
 
@@ -164,6 +167,11 @@ def run_figure11_study(
         for size in sizes
     ]
     study = TraversalStudy()
-    for points in parallel_map(figure11_worker, payloads, jobs):
+    shard_keys = [
+        ("fig11", pattern_index) for pattern_index, _, _ in payloads
+    ]
+    for points in parallel_map(
+        figure11_worker, payloads, jobs, shard_keys=shard_keys
+    ):
         study.points.extend(points)
     return study

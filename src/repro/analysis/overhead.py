@@ -98,6 +98,9 @@ def run_overhead_study(
             overhead_worker,
             [(spec.name, tools, scale, cost_model) for spec in programs],
             jobs,
+            # shard by program: consecutive tables touching the same
+            # proxy land on the same warm fabric worker
+            shard_keys=[spec.name for spec in programs],
         )
     else:
         rows = [

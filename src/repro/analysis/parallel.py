@@ -1,55 +1,72 @@
-"""Process-parallel experiment runner.
+"""Process-parallel experiment runner on the persistent execution fabric.
 
 The (proxy × sanitizer) matrices behind Tables 2-5 and Figures 10/11 are
 embarrassingly parallel: every cell is an isolated Session over a freshly
-built program.  This module fans work units out across worker processes
-and merges results back in deterministic submission order, so parallel
-runs are byte-identical to ``--jobs 1`` runs.
+built program.  This module fans work units out across the long-lived
+worker processes of :class:`repro.analysis.fabric.ExecutionFabric` and
+merges results back in deterministic submission order, so parallel runs
+are byte-identical to ``--jobs 1`` runs.
 
 Work units are dispatched *by name/index* into the canonical registries
 (:data:`repro.workloads.spec.SPEC_BY_NAME` and friends) rather than by
 pickling built programs: a worker rebuilds its program locally, which
 keeps payloads tiny and sidesteps pickling closures.  Results travel
-back as plain dataclasses (RunResult, CheckStats, ErrorLog), which
-pickle cleanly.
+back as plain dataclasses (RunResult, CheckStats, ErrorLog) through each
+worker's shared-memory scratch segment.
 
 Callers pass ``jobs``: ``1`` (the default everywhere) runs inline with
-no multiprocessing machinery at all; anything larger uses a process
-pool.  Custom program lists that are not in the canonical registries
+no multiprocessing machinery at all; anything larger uses the shared
+fabric.  Custom program lists that are not in the canonical registries
 fall back to inline execution since workers cannot rebuild them.
+
+The fabric persists across ``parallel_map`` calls — consecutive tables
+of one sweep invocation reuse warm workers (and their instrumentation
+memo / compiled-closure caches).  It is retired only when the worker
+count or the ``REPRO_*`` environment changes, and that retirement is a
+graceful *drain* (workers finish in-flight units and exit cleanly); the
+hard ``terminate`` path is reserved for process exit.
 """
 
 from __future__ import annotations
 
 import atexit
-import math
-import multiprocessing
 import os
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from .fabric import ExecutionFabric
 
 T = TypeVar("T")
 U = TypeVar("U")
 
-#: The shared worker pool and the (process count, REPRO_* environment)
-#: key it was created under.  One ``repro`` sweep invocation runs many
-#: tables back to back; recreating a pool per table paid fork+teardown
+#: The shared fabric and the (worker count, REPRO_* environment) key it
+#: was created under.  One ``repro`` sweep invocation runs many tables
+#: back to back; recreating workers per table paid fork + cold caches
 #: every time, which is what made ``--jobs 2`` lose to ``--jobs 1`` in
 #: earlier BENCH_interpreter.json snapshots.
-_POOL = None
-_POOL_KEY: Optional[Tuple] = None
+_FABRIC: Optional[ExecutionFabric] = None
+_FABRIC_KEY: Optional[Tuple] = None
 
 
 def default_jobs() -> int:
-    """A sensible worker count for ``--jobs`` defaults: the CPU count."""
-    return max(os.cpu_count() or 1, 1)
+    """A sensible worker count for ``--jobs`` defaults.
+
+    Uses the scheduler's CPU *affinity* mask (which reflects cgroup /
+    container quotas and ``taskset`` pinning) rather than the raw
+    ``cpu_count()``, which oversubscribes containerized runs; falls back
+    to ``cpu_count()`` where affinity is unsupported (macOS, Windows).
+    """
+    try:
+        return max(len(os.sched_getaffinity(0)), 1)
+    except (AttributeError, OSError):
+        return max(os.cpu_count() or 1, 1)
 
 
 def _pool_key(processes: int) -> Tuple:
-    """Pool identity: worker count plus the REPRO_* environment.
+    """Fabric identity: worker count plus the REPRO_* environment.
 
     Fork workers inherit the parent's environment at creation time, so a
-    pool created under one configuration (engine, fastpath, …) must not
-    serve a sweep running under another.
+    fabric created under one configuration (engine, fastpath, shadow, …)
+    must not serve a sweep running under another.
     """
     toggles = tuple(
         sorted(
@@ -61,58 +78,81 @@ def _pool_key(processes: int) -> Tuple:
     return (processes, toggles)
 
 
+def drain_pool() -> None:
+    """Gracefully retire the shared fabric (key-change invalidation).
+
+    Workers finish any in-flight unit, then exit cleanly — nothing is
+    killed.  This is the path a mid-process ``REPRO_*`` change takes.
+    """
+    global _FABRIC, _FABRIC_KEY
+    if _FABRIC is not None:
+        _FABRIC.drain()
+    _FABRIC = None
+    _FABRIC_KEY = None
+
+
 def shutdown_pool() -> None:
-    """Tear down the shared pool (atexit hook and test isolation)."""
-    global _POOL, _POOL_KEY
-    if _POOL is not None:
-        _POOL.terminate()
-        _POOL.join()
-    _POOL = None
-    _POOL_KEY = None
+    """Hard-stop the shared fabric (atexit hook and test isolation)."""
+    global _FABRIC, _FABRIC_KEY
+    if _FABRIC is not None:
+        _FABRIC.terminate()
+    _FABRIC = None
+    _FABRIC_KEY = None
 
 
 atexit.register(shutdown_pool)
 
 
-def _shared_pool(processes: int):
-    """The reusable pool for ``processes`` workers, recreated only when
-    the worker count or the REPRO_* environment changed."""
-    global _POOL, _POOL_KEY
+def _shared_fabric(processes: int) -> ExecutionFabric:
+    """The persistent fabric for ``processes`` workers, recreated only
+    when the worker count or the REPRO_* environment changed."""
+    global _FABRIC, _FABRIC_KEY
     key = _pool_key(processes)
-    if _POOL is not None and _POOL_KEY == key:
-        return _POOL
-    shutdown_pool()
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # platforms without fork: workers re-import
-        context = multiprocessing.get_context()
-    _POOL = context.Pool(processes=processes)
-    _POOL_KEY = key
-    return _POOL
+    if _FABRIC is not None and _FABRIC_KEY == key and not _FABRIC._closed:
+        return _FABRIC
+    drain_pool()
+    _FABRIC = ExecutionFabric(processes)
+    _FABRIC_KEY = key
+    return _FABRIC
+
+
+def fabric_stats() -> Optional[dict]:
+    """Aggregate counters of the live fabric (None when inline-only).
+
+    Includes per-worker unit counts and instrumentation-memo hit/miss
+    counters, which is how tests assert warm-cache reuse across
+    consecutive tables.
+    """
+    if _FABRIC is None or _FABRIC._closed:
+        return None
+    stats = _FABRIC.stats()
+    stats["worker_stats"] = _FABRIC.worker_stats()
+    return stats
 
 
 def parallel_map(
-    worker: Callable[[T], U], payloads: Sequence[T], jobs: Optional[int]
+    worker: Callable[[T], U],
+    payloads: Sequence[T],
+    jobs: Optional[int],
+    shard_keys: Optional[Sequence] = None,
 ) -> List[U]:
-    """Ordered map over ``payloads`` with up to ``jobs`` processes.
+    """Ordered map over ``payloads`` with up to ``jobs`` fabric workers.
 
     ``jobs`` of None/0/1 (or a single payload) runs inline.  Workers
     must be module-level functions and payloads picklable.  Results come
     back in submission order regardless of completion order, which is
     what makes parallel table sweeps deterministic.
 
-    Payloads are batched ``ceil(len / jobs)`` per worker (instead of one
-    task per IPC round-trip) and dispatched onto a pool shared across
-    calls, so consecutive tables of one sweep invocation reuse warm
-    workers.
+    ``shard_keys`` (one per payload, typically the program name) pin
+    units to home workers so repeated sweeps reuse warm per-worker
+    caches; idle workers steal from the largest remaining shard.  When
+    omitted, units round-robin by index.
     """
     payloads = list(payloads)
     jobs = max(int(jobs or 1), 1)
     if jobs == 1 or len(payloads) <= 1:
         return [worker(payload) for payload in payloads]
-    processes = min(jobs, len(payloads))
-    chunksize = math.ceil(len(payloads) / processes)
-    return _shared_pool(processes).map(worker, payloads, chunksize=chunksize)
+    return _shared_fabric(jobs).map(worker, payloads, shard_keys=shard_keys)
 
 
 def chunk_ranges(total: int, jobs: int) -> List[tuple]:
@@ -129,8 +169,26 @@ def chunk_ranges(total: int, jobs: int) -> List[tuple]:
     return spans
 
 
+#: Spans per worker when slicing for the fabric: finer-grained than one
+#: span per worker so work stealing has units to move when one slice
+#: straggles.  Results stay byte-identical for any granularity because
+#: spans are merged back in ascending submission order.
+STEAL_GRANULARITY = 4
+
+
+def steal_spans(total: int, jobs: int) -> List[tuple]:
+    """Contiguous spans sized for work stealing: ``jobs * 4`` slices.
+
+    ``jobs <= 1`` degrades to a single span (the inline path).
+    """
+    jobs = max(int(jobs or 1), 1)
+    if jobs == 1:
+        return chunk_ranges(total, 1)
+    return chunk_ranges(total, jobs * STEAL_GRANULARITY)
+
+
 # ----------------------------------------------------------------------
-# module-level workers (must be importable for the process pool)
+# module-level workers (must be importable for the fabric)
 # ----------------------------------------------------------------------
 def overhead_worker(payload):
     """One Table 2 row: run one SPEC proxy under every tool."""
@@ -185,12 +243,18 @@ def profile_worker(payload):
 
 
 def juliet_worker(payload):
-    """One contiguous slice of the Juliet suite under every tool."""
+    """One contiguous slice of the Juliet suite under every tool.
+
+    The suite is generated once per worker process (persistent fabric
+    workers keep it across slices and tables) instead of being rebuilt
+    from scratch for every slice, which made each unit pay O(total
+    suite) generation work for an O(slice) run.
+    """
     lo, hi, tools = payload
     from ..runtime import Session
-    from ..workloads.juliet import generate_juliet_suite
+    from ..workloads.juliet import juliet_suite_cached
 
-    cases = generate_juliet_suite()[lo:hi]
+    cases = juliet_suite_cached()[lo:hi]
     outcomes = []
     for offset, case in enumerate(cases):
         row = {

@@ -103,6 +103,7 @@ def run_profile_study(
             profile_worker,
             [(spec.name, tool, scale) for spec in programs],
             jobs,
+            shard_keys=[spec.name for spec in programs],
         )
     else:
         rows = [profile_program(spec, tool, scale) for spec in programs]

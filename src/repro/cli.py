@@ -156,7 +156,7 @@ def _cmd_profile(args) -> str:
 
 def _cmd_fuzz(args) -> str:
     """Differential fuzzing sweep: all tools, fastpath on and off."""
-    from .analysis.parallel import chunk_ranges, parallel_map
+    from .analysis.parallel import parallel_map, steal_spans
     from .fuzz.driver import FuzzSummary, fuzz_worker, run_case
     from .fuzz.generator import case_seed_for, generate_case
 
@@ -174,6 +174,10 @@ def _cmd_fuzz(args) -> str:
         print("\n".join(lines))
         raise SystemExit(1)
 
+    # steal-friendly spans: finer than one per worker so a case that
+    # shrinks slowly doesn't serialize the sweep; ascending-span merge
+    # keeps the summary byte-identical to --jobs 1 at any granularity
+    spans = steal_spans(args.iterations, args.jobs)
     payloads = [
         (
             args.seed,
@@ -183,10 +187,15 @@ def _cmd_fuzz(args) -> str:
             not args.no_shrink,
             args.audit_elisions,
         )
-        for start, stop in chunk_ranges(args.iterations, args.jobs)
+        for start, stop in spans
     ]
     summary = FuzzSummary()
-    for partial in parallel_map(fuzz_worker, payloads, jobs=args.jobs):
+    for partial in parallel_map(
+        fuzz_worker,
+        payloads,
+        jobs=args.jobs,
+        shard_keys=[("fuzz", start) for start, _ in spans],
+    ):
         summary.merge(partial)
     audited = " + elision audit" if args.audit_elisions else ""
     lines = [

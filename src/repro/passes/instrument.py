@@ -122,6 +122,12 @@ def program_fingerprint(program: Program) -> str:
 #: once per configuration instead of once per run.
 _MEMO: dict = {}
 _MEMO_LIMIT = 256
+#: Hit/miss counters for the memo, exposed through
+#: :func:`instrumentation_cache_stats`.  The execution fabric reports
+#: them per worker so tests (and telemetry consumers) can prove that
+#: persistent workers actually reuse warm instrumentation across tables.
+_MEMO_HITS = 0
+_MEMO_MISSES = 0
 
 
 def instrument_cached(
@@ -131,22 +137,38 @@ def instrument_cached(
     audit_elisions: bool = False,
 ) -> InstrumentedProgram:
     """Like :func:`instrument`, memoized by (fingerprint, config)."""
+    global _MEMO_HITS, _MEMO_MISSES
     caps, protect = _resolve_config(tool, caps)
     key = (program_fingerprint(source), caps, protect, audit_elisions)
     cached = _MEMO.get(key)
     if cached is None:
+        _MEMO_MISSES += 1
         if len(_MEMO) >= _MEMO_LIMIT:
             _MEMO.clear()
         cached = instrument(
             source, tool=tool, caps=caps, audit_elisions=audit_elisions
         )
         _MEMO[key] = cached
+    else:
+        _MEMO_HITS += 1
     return cached
+
+
+def instrumentation_cache_stats() -> dict:
+    """Memo traffic for this process: ``{hits, misses, entries}``."""
+    return {
+        "hits": _MEMO_HITS,
+        "misses": _MEMO_MISSES,
+        "entries": len(_MEMO),
+    }
 
 
 def clear_instrumentation_cache() -> None:
     """Drop all memoized instrumentation results (mainly for tests)."""
+    global _MEMO_HITS, _MEMO_MISSES
     _MEMO.clear()
+    _MEMO_HITS = 0
+    _MEMO_MISSES = 0
 
 
 def instrument(

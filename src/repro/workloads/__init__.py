@@ -20,6 +20,7 @@ from .juliet import (
     JulietCase,
     TABLE3_CWES,
     generate_juliet_suite,
+    juliet_suite_cached,
 )
 from .linux_flaw import CveScenario, TABLE4_SCENARIOS, scenarios_by_program
 from .magma import (
@@ -48,6 +49,7 @@ __all__ = [
     "JulietCase",
     "TABLE3_CWES",
     "generate_juliet_suite",
+    "juliet_suite_cached",
     "CveScenario",
     "TABLE4_SCENARIOS",
     "scenarios_by_program",

@@ -376,3 +376,23 @@ def generate_juliet_suite(cwes: Optional[List[str]] = None) -> List[JulietCase]:
     for cwe in selected:
         cases.extend(_GENERATORS[cwe]())
     return cases
+
+
+#: Per-process cache of the canonical (all-CWE) suite.  Cases are frozen
+#: and their programs are never mutated at runtime (the instrumenter
+#: clones), so sharing one generation across Table 3 slices is safe.
+_SUITE_CACHE: Optional[List[JulietCase]] = None
+
+
+def juliet_suite_cached() -> List[JulietCase]:
+    """The canonical suite, generated once per process.
+
+    Fabric workers run many Table 3 slices back to back; regenerating
+    the whole suite per slice made every unit pay O(total) generation
+    work for an O(slice) run.  Callers must not mutate the returned
+    list; slice it instead.
+    """
+    global _SUITE_CACHE
+    if _SUITE_CACHE is None:
+        _SUITE_CACHE = generate_juliet_suite()
+    return _SUITE_CACHE
