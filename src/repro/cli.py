@@ -223,18 +223,28 @@ def _cmd_fuzz(args) -> str:
     raise SystemExit(1)
 
 
-def _cmd_analyze(args) -> str:
-    """Static dataflow analysis over the Table 2 proxies (no execution)."""
-    from .passes.instrument import instrument
-    from .reporting import format_static_findings
-    from .sanitizers import SANITIZER_FACTORIES
+def _analyze_corpus(args) -> list:
+    """``[(name, program, expected_buggy)]`` for the selected corpus.
+
+    ``expected_buggy`` is None for the SPEC proxies (clean by design)
+    and the generated Juliet case's ground truth otherwise — the CI
+    static-analysis job asserts zero findings on the clean half.
+    """
+    if args.corpus == "callheavy":
+        from .workloads import build_callheavy_program
+
+        return [("callheavy", build_callheavy_program(), None)]
+    if args.corpus == "juliet":
+        from .workloads import juliet_suite_cached
+
+        cases = juliet_suite_cached()
+        if args.program is not None:
+            cases = [c for c in cases if c.case_id == args.program]
+            if not cases:
+                raise SystemExit(f"unknown juliet case {args.program!r}")
+        return [(c.case_id, c.program, c.buggy) for c in cases]
     from .workloads import SPEC_BY_NAME, SPEC_TABLE2_ROWS, build_spec_program
 
-    try:
-        factory = SANITIZER_FACTORIES[args.tool]
-    except KeyError:
-        known = ", ".join(sorted(SANITIZER_FACTORIES))
-        raise SystemExit(f"unknown tool {args.tool!r}; known tools: {known}")
     if args.program is not None and args.program not in SPEC_BY_NAME:
         known = ", ".join(sorted(SPEC_BY_NAME))
         raise SystemExit(
@@ -245,25 +255,103 @@ def _cmd_analyze(args) -> str:
         if args.program is not None
         else [p.name for p in SPEC_TABLE2_ROWS]
     )
-    lines = [f"static analysis under {args.tool}:", ""]
-    lines.append(f"{'program':<16} {'elided':>7} {'findings':>9}")
+    return [(name, build_spec_program(name), None) for name in names]
+
+
+def _cmd_analyze(args) -> str:
+    """Static dataflow analysis over a corpus (no execution)."""
+    import json
+
+    from .dataflow import render_whole_program, whole_program_data
+    from .passes.instrument import instrument
+    from .reporting import format_static_findings
+    from .sanitizers import SANITIZER_FACTORIES
+
+    try:
+        factory = SANITIZER_FACTORIES[args.tool]
+    except KeyError:
+        known = ", ".join(sorted(SANITIZER_FACTORIES))
+        raise SystemExit(f"unknown tool {args.tool!r}; known tools: {known}")
+    interproc = not args.no_interproc
+    corpus = _analyze_corpus(args)
+    rows = []
     findings_all = []
     elisions_all = []
     timings_total: dict = {}
-    for name in names:
-        ip = instrument(build_spec_program(name), tool=factory())
-        lines.append(
-            f"{name:<16} {len(ip.stats.elisions):>7} "
-            f"{len(ip.stats.findings):>9}"
+    whole_sections = []
+    for name, program, expected_buggy in corpus:
+        ip = instrument(
+            program, tool=factory(), interprocedural=interproc
         )
+        row = {
+            "name": name,
+            "elided": len(ip.stats.elisions),
+            "cross_call_elided": ip.stats.notes.get(
+                "cross_call_eliminated", 0
+            ),
+            "eliminated": ip.stats.eliminated,
+            "remaining_checks": ip.stats.remaining_checks,
+            "findings": [
+                {
+                    "function": f.function,
+                    "kind": f.kind,
+                    "site_id": f.site_id,
+                    "detail": f.detail,
+                    "always_executes": f.always_executes,
+                }
+                for f in ip.stats.findings
+            ],
+        }
+        if expected_buggy is not None:
+            row["expected_buggy"] = expected_buggy
+        rows.append(row)
         findings_all.extend(ip.stats.findings)
         elisions_all.extend(ip.stats.elisions)
         for pass_name, micros in ip.stats.pass_timings().items():
             timings_total[pass_name] = (
                 timings_total.get(pass_name, 0) + micros
             )
+        if args.whole_program:
+            data = whole_program_data(program, interprocedural=interproc)
+            if args.format == "json":
+                row["whole_program"] = data
+            else:
+                whole_sections.append(
+                    (name, render_whole_program(program, data))
+                )
+    if args.format == "json":
+        payload = {
+            "tool": args.tool,
+            "corpus": args.corpus,
+            "interprocedural": interproc,
+            "programs": rows,
+            "totals": {
+                "elided": sum(r["elided"] for r in rows),
+                "cross_call_elided": sum(
+                    r["cross_call_elided"] for r in rows
+                ),
+                "eliminated": sum(r["eliminated"] for r in rows),
+                "findings": sum(len(r["findings"]) for r in rows),
+            },
+            "pass_timings_us": timings_total,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    mode = "interprocedural" if interproc else "intraprocedural"
+    lines = [f"static analysis under {args.tool} ({mode}):", ""]
+    lines.append(
+        f"{'program':<24} {'elided':>7} {'x-call':>7} {'findings':>9}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row['name']:<24} {row['elided']:>7} "
+            f"{row['cross_call_elided']:>7} {len(row['findings']):>9}"
+        )
     lines.append("")
     lines.append(format_static_findings(findings_all))
+    for name, section in whole_sections:
+        lines.append("")
+        lines.append(f"=== {name} ===")
+        lines.append(section)
     if args.elisions and elisions_all:
         lines.append("")
         lines.append("elided checks:")
@@ -458,6 +546,32 @@ def build_parser() -> argparse.ArgumentParser:
                 "--elisions",
                 action="store_true",
                 help="list every elided check with its static proof",
+            )
+            sub.add_argument(
+                "--format",
+                choices=["text", "json"],
+                default="text",
+                help="output format (default: text tables)",
+            )
+            sub.add_argument(
+                "--corpus",
+                choices=["spec", "juliet", "callheavy"],
+                default="spec",
+                help="program corpus: the Table 2 SPEC proxies, the "
+                "generated Juliet suite, or the call-heavy "
+                "interprocedural workload (default spec)",
+            )
+            sub.add_argument(
+                "--whole-program",
+                action="store_true",
+                help="also print each program's call graph and "
+                "per-function summaries",
+            )
+            sub.add_argument(
+                "--no-interproc",
+                action="store_true",
+                help="disable the interprocedural summary layer "
+                "(call sites clobber every dataflow fact, as before)",
             )
         if name == "demo":
             sub.add_argument(

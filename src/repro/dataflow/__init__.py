@@ -15,6 +15,14 @@ checks and eliminate redundant ones across block boundaries; the static
 detector (:mod:`~repro.dataflow.detector`) reports definite memory bugs
 before the program ever runs.
 
+The interprocedural layer sits on top: a call graph with SCC
+condensation (:mod:`~repro.dataflow.callgraph`), bottom-up function
+summaries (:mod:`~repro.dataflow.summaries`), and a shared
+:class:`~repro.dataflow.interproc.InterproceduralContext` that lets
+every analysis consume ``Call`` sites precisely instead of clobbering
+to ⊤, and the cross-call eliminator seed callee entry states from
+finalized caller facts.
+
 Import discipline: this package never imports :mod:`repro.passes` at
 module load time (only lazily inside functions) — the passes import us.
 """
@@ -55,6 +63,21 @@ from .detector import (
     detect_function,
     root_sizes,
 )
+from .callgraph import CallGraph, build_call_graph
+from .summaries import (
+    FunctionSummary,
+    MustAccessAnalysis,
+    ParamFacts,
+    call_frees_nothing,
+    compute_summaries,
+    conservative_summary,
+    interprocedural_default,
+)
+from .interproc import (
+    InterproceduralContext,
+    render_whole_program,
+    whole_program_data,
+)
 
 __all__ = [
     "CFG",
@@ -92,4 +115,16 @@ __all__ = [
     "analyze_program",
     "detect_function",
     "root_sizes",
+    "CallGraph",
+    "build_call_graph",
+    "FunctionSummary",
+    "ParamFacts",
+    "MustAccessAnalysis",
+    "call_frees_nothing",
+    "compute_summaries",
+    "conservative_summary",
+    "interprocedural_default",
+    "InterproceduralContext",
+    "render_whole_program",
+    "whole_program_data",
 ]

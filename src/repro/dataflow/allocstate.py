@@ -14,13 +14,28 @@ Stack and global buffers stay live for the whole function (frames pop at
 return; globals are immortal), so only heap roots ever transition.  A
 ``Free`` through an unknown pointer or a ``Call`` (which may free
 anything the callee can reach) degrades every heap root to MAYBE.
+
+With interprocedural summaries a ``Call`` degrades only the provenance
+roots of arguments bound to may-freed parameters — a call to a provably
+non-freeing callee leaves every lifetime fact intact.  A callee that
+definitely returns a fresh heap allocation contributes a
+``callret:{id(call)}`` root: MAYBE in the entry state (the call has not
+executed), LIVE after the call transfers.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
-from ..ir.nodes import Call, Free, GlobalAlloc, Instr, Malloc, StackAlloc
+from ..ir.nodes import (
+    Call,
+    Free,
+    GlobalAlloc,
+    Instr,
+    Malloc,
+    StackAlloc,
+    Var,
+)
 from ..ir.program import Function, walk
 from .cfg import CFG
 from .solver import ForwardAnalysis
@@ -43,9 +58,15 @@ class AllocStateAnalysis(ForwardAnalysis):
     allocation site.
     """
 
-    def __init__(self, function: Function, provenance_map) -> None:
+    def __init__(
+        self,
+        function: Function,
+        provenance_map,
+        summaries: Optional[Dict[str, object]] = None,
+    ) -> None:
         self.function = function
         self.pmap = provenance_map
+        self.summaries = summaries
         # materialize every root up front so degradation (Call, unknown
         # Free) reaches roots that have not been touched yet
         self._entry: Dict[str, str] = {}
@@ -58,6 +79,15 @@ class AllocStateAnalysis(ForwardAnalysis):
                 self._entry[f"stack:{id(instr)}"] = LIVE
             elif isinstance(instr, GlobalAlloc):
                 self._entry[f"global:{id(instr)}"] = LIVE
+            elif isinstance(instr, Call):
+                summary = self._summary_of(instr)
+                if summary is not None and summary.returns_fresh is not None:
+                    self._entry[f"callret:{id(instr)}"] = MAYBE
+
+    def _summary_of(self, instr: Call):
+        if self.summaries is None:
+            return None
+        return self.summaries.get(instr.func)
 
     def boundary(self, cfg: CFG) -> Dict[str, str]:
         return dict(self._entry)
@@ -80,20 +110,66 @@ class AllocStateAnalysis(ForwardAnalysis):
             prov = self.pmap.provenance(instr.ptr)
             if prov is not None:
                 state[prov.root] = FREED
+                # distinct parameters may alias one caller object, so a
+                # free through any param root clouds every other param
+                self._degrade_param_aliases(state, prov.root)
             else:
                 # an unknown pointer may free any heap object
                 for root in list(state):
                     if self._heap_like(root):
                         state[root] = MAYBE
         elif isinstance(instr, Call):
-            # the callee may free anything it can reach
-            for root in list(state):
-                if self._heap_like(root):
-                    state[root] = MAYBE
+            summary = self._summary_of(instr)
+            if (
+                summary is None
+                or summary.recursive
+                or summary.may_free_unknown
+            ):
+                # the callee may free anything it can reach
+                for root in list(state):
+                    if self._heap_like(root):
+                        state[root] = MAYBE
+                return
+            # only arguments bound to may-freed parameters can die
+            for index, facts in enumerate(summary.param_facts):
+                if not facts.freed:
+                    continue
+                arg = (
+                    instr.args[index]
+                    if index < len(instr.args)
+                    else None
+                )
+                prov = (
+                    self.pmap.provenance(arg.name)
+                    if isinstance(arg, Var)
+                    else None
+                )
+                if prov is not None:
+                    if self._heap_like(prov.root):
+                        state[prov.root] = MAYBE
+                    self._degrade_param_aliases(state, prov.root)
+                else:
+                    for root in list(state):
+                        if self._heap_like(root):
+                            state[root] = MAYBE
+                    return
+            if summary.returns_fresh is not None:
+                state[f"callret:{id(instr)}"] = LIVE
 
     @staticmethod
     def _heap_like(root: str) -> bool:
         return not (root.startswith("stack:") or root.startswith("global:"))
+
+    @staticmethod
+    def _degrade_param_aliases(state: Dict[str, str], root: str) -> None:
+        """A free through a ``param:`` root may have freed the object
+        behind any *other* parameter (the caller may pass one pointer
+        twice); degrade the rest to MAYBE."""
+        if not root.startswith("param:"):
+            return
+        for other in state:
+            if other.startswith("param:") and other != root:
+                state[other] = MAYBE
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -21,9 +21,30 @@ Facts are keyed two ways:
 Kills keep the analysis honest about lifetimes: ``Free`` through a known
 pointer kills that root (plus all value-keyed facts, which may alias
 it); ``Free`` through an unknown pointer kills everything; ``Call``
-kills everything except stack/global roots (a callee cannot pop the
-caller's frame).  A ``Malloc`` kills its own root's facts — the same
-allocation site produces a fresh object every execution.
+without a summary kills everything except stack/global roots (a callee
+cannot pop the caller's frame).  A ``Malloc`` kills its own root's facts
+— the same allocation site produces a fresh object every execution.
+
+With interprocedural summaries (:mod:`repro.dataflow.summaries`) a call
+site becomes precise in both directions:
+
+* **kills** shrink to the callee's summarized free effects — only the
+  provenance roots of arguments bound to may-freed parameters die (plus
+  value-keyed facts, which may alias them).  A provably non-freeing
+  callee kills nothing, so checks hoisted above a call stay available
+  after it;
+* **gen** appears: the callee's per-parameter must-``checked`` ranges —
+  offsets it validated on every path by its exit — are translated
+  through each argument's base offset and recorded post-call.  This is
+  sound because the ranges were validated after the object's
+  addressability last possibly changed (the callee's own analysis
+  guarantees exactly that at its exit), and nothing between the
+  callee's exit and the caller's post-call point runs at all.
+
+``entry_facts`` seeds the boundary state: the cross-call eliminator
+passes the intersection of every call site's surviving coverage,
+letting a callee's prologue checks be elided when all callers already
+validated the range (see ``passes/check_merging.py``).
 
 Anchored region checks (GiantSan's §4.4.1 shape) validate everything
 from the base pointer to the region end, so their coverage is widened to
@@ -46,6 +67,7 @@ from ..ir.nodes import (
     Malloc,
     PtrAdd,
     StackAlloc,
+    Var,
 )
 from ..ir.program import Function
 from .cfg import CFG, BasicBlock
@@ -115,13 +137,19 @@ class AvailableCheckAnalysis(ForwardAnalysis):
         function: Function,
         provenance_map,
         suppressed: Optional[Set[int]] = None,
+        summaries: Optional[Dict[str, object]] = None,
+        entry_facts: Optional[Dict[FactKey, IntervalSet]] = None,
     ) -> None:
         self.function = function
         self.pmap = provenance_map
         self.suppressed: Set[int] = suppressed or set()
+        self.summaries = summaries
+        self.entry_facts = entry_facts
 
     # -- lattice -------------------------------------------------------
     def boundary(self, cfg: CFG) -> Dict[FactKey, IntervalSet]:
+        if self.entry_facts:
+            return dict(self.entry_facts)
         return {}
 
     def copy(self, state) -> Dict[FactKey, IntervalSet]:
@@ -187,18 +215,11 @@ class AvailableCheckAnalysis(ForwardAnalysis):
             if prov is None:
                 state.clear()
                 return
-            state.pop(prov.root, None)
+            self._kill_root(state, prov.root)
             self._kill_value_facts(state)
             return
         if isinstance(instr, Call):
-            for key in list(state):
-                if not (
-                    isinstance(key, str)
-                    and key.startswith(("stack:", "global:"))
-                ):
-                    del state[key]
-            if instr.dst:
-                self._kill_var(state, instr.dst)
+            self._transfer_call(instr, state)
             return
         if isinstance(instr, Malloc):
             # this site's previous object (a prior loop iteration) is
@@ -212,6 +233,75 @@ class AvailableCheckAnalysis(ForwardAnalysis):
         if isinstance(instr, (Assign, Load, PtrAdd)):
             self._kill_var(state, instr.dst)
             return
+
+    def _transfer_call(self, instr: Call, state) -> None:
+        summary = (
+            self.summaries.get(instr.func)
+            if self.summaries is not None
+            else None
+        )
+        if (
+            summary is None
+            or summary.recursive
+            or summary.may_free_unknown
+        ):
+            # opaque call: today's treatment — anything heap-like may
+            # have been freed by the callee
+            self._kill_heap_facts(state)
+            if instr.dst:
+                self._kill_var(state, instr.dst)
+            return
+        # -- kills: only what the summary says the callee may free
+        freed_any = False
+        for index, facts in enumerate(summary.param_facts):
+            if not facts.freed:
+                continue
+            freed_any = True
+            arg = (
+                instr.args[index] if index < len(instr.args) else None
+            )
+            prov = (
+                self.pmap.provenance(arg.name)
+                if isinstance(arg, Var)
+                else None
+            )
+            if prov is not None:
+                self._kill_root(state, prov.root)
+            else:
+                # may-freed argument of unknown provenance: any object
+                # could be the one that died
+                self._kill_heap_facts(state)
+                freed_any = False  # value facts already gone
+                break
+        if freed_any:
+            # value-keyed facts may alias the freed roots
+            self._kill_value_facts(state)
+        # re-execution of this site yields a fresh returned object
+        state.pop(f"callret:{id(instr)}", None)
+        # -- gen: ranges the callee validated on every path by exit,
+        # translated through each argument's base offset
+        for index, facts in enumerate(summary.param_facts):
+            ranges = self._call_facts(facts)
+            if not ranges:
+                continue
+            arg = (
+                instr.args[index] if index < len(instr.args) else None
+            )
+            if not isinstance(arg, Var):
+                continue
+            key, base_off = self._key_for(arg.name)
+            shifted = tuple(
+                (base_off + lo, base_off + hi) for lo, hi in ranges
+            )
+            state[key] = union(state.get(key, ()), shifted)
+        if instr.dst:
+            self._kill_var(state, instr.dst)
+
+    def _call_facts(self, facts) -> IntervalSet:
+        """Post-call fact ranges contributed per parameter (hook:
+        :class:`repro.dataflow.summaries.MustAccessAnalysis` overrides
+        this to propagate must-accessed instead of must-checked)."""
+        return facts.checked
 
     def at_block_start(self, block: BasicBlock, state) -> None:
         loop = block.loop_body_of
@@ -227,4 +317,26 @@ class AvailableCheckAnalysis(ForwardAnalysis):
     def _kill_value_facts(state) -> None:
         for key in list(state):
             if isinstance(key, tuple) and key and key[0] == "v":
+                del state[key]
+
+    @staticmethod
+    def _kill_root(state, root: str) -> None:
+        """Kill facts for a freed root — and, because distinct
+        parameters may alias the same caller object, freeing through
+        any ``param:`` root kills every ``param:`` fact."""
+        state.pop(root, None)
+        if root.startswith("param:"):
+            for key in list(state):
+                if isinstance(key, str) and key.startswith("param:"):
+                    del state[key]
+
+    @staticmethod
+    def _kill_heap_facts(state) -> None:
+        """Kill every fact except stack/global roots (a callee cannot
+        pop the caller's frame or unmap a global)."""
+        for key in list(state):
+            if not (
+                isinstance(key, str)
+                and key.startswith(("stack:", "global:"))
+            ):
                 del state[key]

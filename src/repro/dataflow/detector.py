@@ -16,6 +16,13 @@ Findings carry ``always_executes`` — whether the faulting block lies on
 every entry-to-exit path (its block dominates the exit) — so a consumer
 can tell "this program cannot run correctly" from "this branch, if
 taken, is doomed".
+
+With interprocedural summaries the same definite-only discipline
+extends across calls: a call whose callee *must* dereference a
+parameter on every path is itself a definite use-after-free when the
+argument's object is freed on all paths in, and a definite
+out-of-bounds when the callee's must-access range provably exceeds the
+argument's statically known object size.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..ir.nodes import (
+    Call,
     Free,
     GlobalAlloc,
     Instr,
@@ -32,6 +40,7 @@ from ..ir.nodes import (
     Memset,
     StackAlloc,
     Store,
+    Var,
 )
 from ..ir.program import Function, Program, walk
 from .allocstate import FREED, AllocStateAnalysis
@@ -41,7 +50,7 @@ from .intervals import Interval, IntervalAnalysis, eval_expr
 from .solver import Solution, solve
 
 
-def root_sizes(function: Function) -> Dict[str, int]:
+def root_sizes(function: Function, summaries=None) -> Dict[str, int]:
     """Constant object sizes keyed by provenance root."""
     from ..passes.constprop import eval_const
 
@@ -55,6 +64,10 @@ def root_sizes(function: Function) -> Dict[str, int]:
             sizes[f"stack:{id(instr)}"] = instr.size
         elif isinstance(instr, GlobalAlloc):
             sizes[f"global:{id(instr)}"] = instr.size
+        elif isinstance(instr, Call) and summaries is not None:
+            summary = summaries.get(instr.func)
+            if summary is not None and summary.returns_fresh is not None:
+                sizes[f"callret:{id(instr)}"] = summary.returns_fresh
     return sizes
 
 
@@ -66,15 +79,20 @@ class FunctionDataflow:
     facts the rebased passes and the detector consume.
     """
 
-    def __init__(self, function: Function):
+    def __init__(self, function: Function, summaries=None):
         from ..passes.alias import ProvenanceMap
 
         self.function = function
+        self.summaries = summaries
         self.cfg: CFG = lower_function(function)
-        self.pmap = ProvenanceMap(function)
-        self.sizes = root_sizes(function)
-        self.intervals: Solution = solve(self.cfg, IntervalAnalysis())
-        self.alloc_analysis = AllocStateAnalysis(function, self.pmap)
+        self.pmap = ProvenanceMap(function, summaries=summaries)
+        self.sizes = root_sizes(function, summaries=summaries)
+        self.intervals: Solution = solve(
+            self.cfg, IntervalAnalysis(summaries=summaries)
+        )
+        self.alloc_analysis = AllocStateAnalysis(
+            function, self.pmap, summaries=summaries
+        )
         self.allocstate: Solution = solve(self.cfg, self.alloc_analysis)
         self.idom = immediate_dominators(self.cfg)
 
@@ -165,6 +183,9 @@ def _inspect(
             )
         return None
 
+    if isinstance(instr, Call):
+        return _inspect_call(flow, instr, astate, always)
+
     if isinstance(instr, (Load, Store)):
         base, offset, width = instr.base, instr.offset, instr.width
     elif isinstance(instr, Memset):
@@ -228,6 +249,60 @@ def _inspect(
     return None
 
 
+def _inspect_call(
+    flow: FunctionDataflow, instr: Call, astate, always: bool
+) -> Optional[StaticFinding]:
+    """Definite cross-call bugs: the callee's summarized must-access
+    ranges applied to what the caller knows about the arguments."""
+    if not flow.summaries:
+        return None
+    summary = flow.summaries.get(instr.func)
+    if summary is None or summary.recursive:
+        return None
+    name = flow.function.name
+    for index, facts in enumerate(summary.param_facts):
+        if not facts.must_access:
+            continue
+        arg = instr.args[index] if index < len(instr.args) else None
+        if not isinstance(arg, Var):
+            continue
+        prov = flow.pmap.provenance(arg.name)
+        if prov is None:
+            continue
+        if prov.root.startswith(("alloc:", "callret:")) and (
+            AllocStateAnalysis.state_of(astate, prov.root) == FREED
+        ):
+            return StaticFinding(
+                function=name,
+                kind="definite-uaf",
+                site_id=-1,
+                detail=(
+                    f"call {summary.name}({arg.name}) dereferences "
+                    f"parameter '{summary.params[index]}' of an object "
+                    "freed on all paths"
+                ),
+                always_executes=always,
+            )
+        base_off = _const_offset(prov)
+        size = flow.sizes.get(prov.root)
+        if base_off is None or size is None:
+            continue
+        for lo, hi in facts.must_access:
+            if base_off + hi > size or base_off + lo < 0:
+                return StaticFinding(
+                    function=name,
+                    kind="definite-oob",
+                    site_id=-1,
+                    detail=(
+                        f"call {summary.name}({arg.name}) always "
+                        f"accesses bytes [{base_off + lo}, "
+                        f"{base_off + hi}) of a {size}-byte object"
+                    ),
+                    always_executes=always,
+                )
+    return None
+
+
 def _const_offset(prov) -> Optional[int]:
     from ..passes.constprop import eval_const
 
@@ -244,17 +319,32 @@ def _describe(instr: Instr) -> str:
     return type(instr).__name__
 
 
-def analyze_program(program: Program) -> List[StaticFinding]:
+def analyze_program(
+    program: Program,
+    summaries=None,
+    interprocedural: Optional[bool] = None,
+) -> List[StaticFinding]:
     """Definite findings for every function of ``program``.
 
     Analyzes a clone with site ids assigned, so the input program is
-    never mutated and findings carry stable site identifiers.
+    never mutated and findings carry stable site identifiers.  When
+    ``interprocedural`` (default: the ``REPRO_INTERPROC`` switch) is on
+    and no ``summaries`` are supplied, they are computed on the clone.
     """
     from ..ir.program import assign_site_ids
+    from .summaries import compute_summaries, interprocedural_default
 
     clone = program.clone()
     assign_site_ids(clone)
+    if interprocedural is None:
+        interprocedural = interprocedural_default()
+    if summaries is None and interprocedural:
+        summaries = compute_summaries(clone)
+    elif not interprocedural:
+        summaries = None
     findings: List[StaticFinding] = []
     for function in clone.functions.values():
-        findings.extend(detect_function(FunctionDataflow(function)))
+        findings.extend(
+            detect_function(FunctionDataflow(function, summaries=summaries))
+        )
     return findings

@@ -215,7 +215,15 @@ class IntervalAnalysis(ForwardAnalysis):
     unconstrained (TOP).  Meet is the interval hull per variable, with
     variables known on only one side dropping to TOP (they may hold
     anything on the other path).
+
+    With interprocedural ``summaries`` a call's destination takes the
+    callee's summarized return interval instead of dropping to TOP.
     """
+
+    def __init__(
+        self, summaries: Optional[Dict[str, object]] = None
+    ) -> None:
+        self.summaries = summaries
 
     def boundary(self, cfg: CFG) -> Dict[str, Interval]:
         # parameters are unconstrained; nothing else is bound yet
@@ -280,4 +288,17 @@ class IntervalAnalysis(ForwardAnalysis):
             state.pop(instr.dst, None)
         elif isinstance(instr, Call):
             if instr.dst:
-                state.pop(instr.dst, None)
+                summary = (
+                    self.summaries.get(instr.func)
+                    if self.summaries is not None
+                    else None
+                )
+                if (
+                    summary is not None
+                    and not summary.recursive
+                    and summary.returns_fresh is None
+                    and summary.return_interval != TOP
+                ):
+                    state[instr.dst] = summary.return_interval
+                else:
+                    state.pop(instr.dst, None)

@@ -163,6 +163,44 @@ class HelperCall:
     count: int
 
 
+@dataclass(frozen=True)
+class KernelCall:
+    """Call a pointer-taking kernel that walks the caller's buffer.
+
+    The interprocedural shapes: the kernel's accesses show up in its
+    function summary, so callers can elide checks the callee repeats
+    (and vice versa).  ``alias_second`` passes the same buffer for both
+    pointer parameters — the arg-aliasing shape the parameter-alias
+    kill rule exists for.  ``free_in_callee`` has the kernel free its
+    first parameter before returning; the caller's buffer is dead
+    afterwards and the generator never touches it again.
+    """
+
+    name: str
+    buf: str
+    count: int
+    width: int
+    store: bool
+    alias_second: bool = False
+    free_in_callee: bool = False
+
+
+@dataclass(frozen=True)
+class RecursiveCall:
+    """Call a bounded self-recursive walker over the caller's buffer.
+
+    Recursive functions get the conservative ⊤ summary, so this shape
+    pins the fall-back path: analyses must treat the call as opaque and
+    reports must stay byte-identical with summaries on or off.
+    """
+
+    name: str
+    buf: str
+    depth: int
+    width: int
+    store: bool
+
+
 SpecOp = Union[
     BufferDecl,
     SingleAccess,
@@ -172,6 +210,8 @@ SpecOp = Union[
     RegionCopy,
     FreeBuf,
     HelperCall,
+    KernelCall,
+    RecursiveCall,
 ]
 
 
@@ -337,7 +377,39 @@ def _gen_ops(rng: random.Random) -> Tuple[SpecOp, ...]:
             continue
         if not live:
             continue
-        var, size, _ = rng.choice(live)
+        var, size, arena = rng.choice(live)
+        if choice < 0.22:
+            width = rng.choice((1, 2, 4))
+            if size >= width:
+                alias = rng.random() < 0.3
+                free_in = arena == "heap" and rng.random() < 0.25
+                ops.append(
+                    KernelCall(
+                        name=f"kernel{tag}",
+                        buf=var,
+                        count=rng.randint(1, min(16, size // width)),
+                        width=width,
+                        store=rng.random() < 0.5,
+                        alias_second=alias,
+                        free_in_callee=free_in,
+                    )
+                )
+                if free_in:
+                    freed.add(var)
+            continue
+        if choice < 0.27:
+            width = rng.choice((1, 2, 4))
+            if size >= width:
+                ops.append(
+                    RecursiveCall(
+                        name=f"rec{tag}",
+                        buf=var,
+                        depth=min(6, size // width),
+                        width=width,
+                        store=rng.random() < 0.5,
+                    )
+                )
+            continue
         if choice < 0.45:
             walk = _gen_loop_walk(rng, var, size, tag)
             if walk is not None:
@@ -523,6 +595,13 @@ def _emit_op(f, op: SpecOp, tag: str) -> None:
         f.free(op.buf)
     elif isinstance(op, HelperCall):
         f.call(op.name, [])
+    elif isinstance(op, KernelCall):
+        args = [V(op.buf), V(op.buf)] if op.alias_second else [V(op.buf)]
+        f.call(op.name, args, dst=f"k{tag}")
+        f.assign("acc", V("acc") + V(f"k{tag}"))
+    elif isinstance(op, RecursiveCall):
+        f.call(op.name, [V(op.buf), op.depth], dst=f"r{tag}")
+        f.assign("acc", V("acc") + V(f"r{tag}"))
     else:  # pragma: no cover - defensive
         raise TypeError(f"unknown spec op {op!r}")
 
@@ -534,6 +613,43 @@ def _emit_helper(builder: ProgramBuilder, op: HelperCall) -> None:
         with h.loop("hi", 0, limit) as hi:
             h.store("hbuf", hi, 1, hi + 1)
         h.ret(0)
+
+
+def _emit_kernel(builder: ProgramBuilder, op: KernelCall) -> None:
+    """The callee for one KernelCall op (accesses precede any free)."""
+    params = ["p", "q"] if op.alias_second else ["p"]
+    with builder.function(op.name, params=params) as k:
+        k.assign("kacc", 0)
+        with k.loop("ki", 0, op.count) as ki:
+            if op.store:
+                k.store("p", ki * op.width, op.width, ki + 1)
+            else:
+                k.load("kv", "p", ki * op.width, op.width)
+                k.assign("kacc", V("kacc") + V("kv"))
+        if op.alias_second:
+            k.load("kq", "q", 0, op.width)
+            k.assign("kacc", V("kacc") + V("kq"))
+        if op.free_in_callee:
+            k.free("p")
+        k.ret(V("kacc"))
+
+
+def _emit_recursive(builder: ProgramBuilder, op: RecursiveCall) -> None:
+    """The callee for one RecursiveCall op: ``rec(p, d)`` touches
+    ``p[(d-1)*width]`` then recurses with ``d - 1`` until ``d == 0``."""
+    with builder.function(op.name, params=["p", "d"]) as r:
+        r.assign("racc", 0)
+        with r.if_(V("d").gt(0)):
+            if op.store:
+                r.store("p", (V("d") - 1) * op.width, op.width, V("d"))
+            else:
+                r.load("rv", "p", (V("d") - 1) * op.width, op.width)
+            r.call(op.name, [V("p"), V("d") - 1], dst="rsub")
+            if op.store:
+                r.assign("racc", V("rsub"))
+            else:
+                r.assign("racc", V("rv") + V("rsub"))
+        r.ret(V("racc"))
 
 
 def _emit_bug(builder: ProgramBuilder, f, bug: BugSpec) -> None:
@@ -582,9 +698,13 @@ def _emit_bug(builder: ProgramBuilder, f, bug: BugSpec) -> None:
 def build_case(case: FuzzCase) -> Program:
     """Translate a spec case into an executable IR program."""
     builder = ProgramBuilder()
-    helpers = [op for op in case.ops if isinstance(op, HelperCall)]
-    for helper in helpers:
-        _emit_helper(builder, helper)
+    for op in case.ops:
+        if isinstance(op, HelperCall):
+            _emit_helper(builder, op)
+        elif isinstance(op, KernelCall):
+            _emit_kernel(builder, op)
+        elif isinstance(op, RecursiveCall):
+            _emit_recursive(builder, op)
     with builder.function("main") as f:
         f.assign("acc", 0)
         for index, op in enumerate(case.ops):

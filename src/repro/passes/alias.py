@@ -52,11 +52,17 @@ class ProvenanceMap:
     a *different* provenance we drop it from the map entirely, which is
     always safe (passes treat unknown provenance as "may alias anything"
     and skip the optimization).
+
+    With interprocedural ``summaries``, a call whose callee definitely
+    returns a fresh heap allocation roots its destination at
+    ``callret:{id(call)}`` — a brand-new object the caller's analyses
+    can track like any allocation site.
     """
 
-    def __init__(self, function: Function):
+    def __init__(self, function: Function, summaries=None):
         self._map: Dict[str, Provenance] = {}
         self._poisoned: set = set()
+        self._summaries = summaries
         for name in function.params:
             self._set(name, Provenance(f"param:{name}", Const(0)))
         for instr in walk(function.body):
@@ -98,7 +104,22 @@ class ProvenanceMap:
             self._map.pop(instr.dst, None)
         elif isinstance(instr, Call):
             if instr.dst:
-                self._map.pop(instr.dst, None)
+                summary = (
+                    self._summaries.get(instr.func)
+                    if self._summaries is not None
+                    else None
+                )
+                if (
+                    summary is not None
+                    and not summary.recursive
+                    and summary.returns_fresh is not None
+                ):
+                    self._set(
+                        instr.dst,
+                        Provenance(f"callret:{id(instr)}", Const(0)),
+                    )
+                else:
+                    self._map.pop(instr.dst, None)
 
     def provenance(self, var: str) -> Optional[Provenance]:
         return self._map.get(var)

@@ -56,13 +56,22 @@ def placement_style(caps: Capabilities) -> str:
 
 
 def build_pipeline(
-    caps: Capabilities, protect: bool = True, audit_elisions: bool = False
+    caps: Capabilities,
+    protect: bool = True,
+    audit_elisions: bool = False,
+    interprocedural: bool = False,
 ) -> List[Pass]:
     """The pass list for a tool with the given capabilities.
 
-    ``audit_elisions`` makes the static elision pass wrap elided checks
-    in :class:`~repro.ir.nodes.CheckElided` markers (replayed against
-    the shadow oracle at runtime) instead of deleting them.
+    ``audit_elisions`` makes the static elision passes wrap elided
+    checks in :class:`~repro.ir.nodes.CheckElided` markers (replayed
+    against the shadow oracle at runtime) instead of deleting them.
+
+    ``interprocedural`` turns on the summary-based analysis layer
+    (:mod:`repro.dataflow.summaries`): call sites consume function
+    summaries instead of clobbering every fact, the cross-block
+    eliminator seeds callee entries from finalized caller coverage, and
+    loop barriers ignore provably non-freeing calls.
     """
     passes: List[Pass] = [ConstantPropagation()]
     if not protect:
@@ -71,20 +80,49 @@ def build_pipeline(
     style = placement_style(caps)
     passes.append(CheckPlacement(style))
     if caps.check_elimination:
-        passes.append(AliasedCheckElimination())
+        passes.append(
+            AliasedCheckElimination(
+                audit=audit_elisions, interprocedural=interprocedural
+            )
+        )
         if caps.constant_time_region:
             passes.append(ConstantOffsetMerging())
-            passes.append(LoopCheckPromotion("region"))
+            passes.append(
+                LoopCheckPromotion(
+                    "region", interprocedural=interprocedural
+                )
+            )
             # elide merged/promoted region checks the dataflow facts
             # prove in-bounds on a live object, before caching rewrites
-            passes.append(SafeAccessElimination(audit=audit_elisions))
+            passes.append(
+                SafeAccessElimination(
+                    audit=audit_elisions, interprocedural=interprocedural
+                )
+            )
         else:
             # ASan--: provably-safe removal + invariant hoisting
-            passes.append(SafeAccessElimination(audit=audit_elisions))
-            passes.append(LoopCheckPromotion("hoist"))
+            passes.append(
+                SafeAccessElimination(
+                    audit=audit_elisions, interprocedural=interprocedural
+                )
+            )
+            passes.append(
+                LoopCheckPromotion(
+                    "hoist", interprocedural=interprocedural
+                )
+            )
     if caps.history_caching:
         passes.append(HistoryCaching())
     return passes
+
+
+def _resolve_interprocedural(interprocedural: Optional[bool]) -> bool:
+    """None means "follow the REPRO_INTERPROC process default"."""
+    if interprocedural is not None:
+        return interprocedural
+    from ..dataflow.summaries import interprocedural_default
+
+    return interprocedural_default()
 
 
 def _resolve_config(
@@ -135,18 +173,30 @@ def instrument_cached(
     tool: Optional[Sanitizer] = None,
     caps: Optional[Capabilities] = None,
     audit_elisions: bool = False,
+    interprocedural: Optional[bool] = None,
 ) -> InstrumentedProgram:
     """Like :func:`instrument`, memoized by (fingerprint, config)."""
     global _MEMO_HITS, _MEMO_MISSES
     caps, protect = _resolve_config(tool, caps)
-    key = (program_fingerprint(source), caps, protect, audit_elisions)
+    interproc = _resolve_interprocedural(interprocedural)
+    key = (
+        program_fingerprint(source),
+        caps,
+        protect,
+        audit_elisions,
+        interproc,
+    )
     cached = _MEMO.get(key)
     if cached is None:
         _MEMO_MISSES += 1
         if len(_MEMO) >= _MEMO_LIMIT:
             _MEMO.clear()
         cached = instrument(
-            source, tool=tool, caps=caps, audit_elisions=audit_elisions
+            source,
+            tool=tool,
+            caps=caps,
+            audit_elisions=audit_elisions,
+            interprocedural=interproc,
         )
         _MEMO[key] = cached
     else:
@@ -176,13 +226,17 @@ def instrument(
     tool: Optional[Sanitizer] = None,
     caps: Optional[Capabilities] = None,
     audit_elisions: bool = False,
+    interprocedural: Optional[bool] = None,
 ) -> InstrumentedProgram:
     """Clone and instrument ``source`` for ``tool`` (or raw ``caps``)."""
     caps, protect = _resolve_config(tool, caps)
     program = source.clone()
     assign_site_ids(program)
     pipeline = build_pipeline(
-        caps, protect=protect, audit_elisions=audit_elisions
+        caps,
+        protect=protect,
+        audit_elisions=audit_elisions,
+        interprocedural=_resolve_interprocedural(interprocedural),
     )
     stats = PassManager(pipeline).run(program)
     remaining = 0

@@ -56,6 +56,11 @@ class Session:
     checks as :class:`~repro.ir.nodes.CheckElided` markers that the
     interpreter replays against the shadow oracle, surfacing unsound
     elisions in ``RunResult.elision_audit_failures``.
+    ``interprocedural`` turns the summary-based analysis layer on or
+    off for the static pipeline (None = the ``REPRO_INTERPROC`` process
+    default, normally on): call sites consume function summaries
+    instead of clobbering every dataflow fact, enabling cross-call
+    check elision.
 
     ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry`
     registry (None = the ``REPRO_TELEMETRY`` process default, normally
@@ -90,6 +95,7 @@ class Session:
         telemetry: bool | Telemetry | None = None,
         engine: str | None = None,
         shadow: str | None = None,
+        interprocedural: bool | None = None,
         **sanitizer_kwargs,
     ):
         if isinstance(tool, Sanitizer):
@@ -114,6 +120,7 @@ class Session:
         self.engine = resolve_engine(engine)
         self.memoize = _memoize_default() if memoize is None else memoize
         self.audit_elisions = audit_elisions
+        self.interprocedural = interprocedural
         if telemetry is None:
             telemetry = telemetry_enabled_default()
         self.telemetry = None
@@ -141,9 +148,13 @@ class Session:
                 program,
                 tool=self.sanitizer,
                 audit_elisions=self.audit_elisions,
+                interprocedural=self.interprocedural,
             )
         return instrument(
-            program, tool=self.sanitizer, audit_elisions=self.audit_elisions
+            program,
+            tool=self.sanitizer,
+            audit_elisions=self.audit_elisions,
+            interprocedural=self.interprocedural,
         )
 
     def run(

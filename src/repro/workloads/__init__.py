@@ -16,6 +16,7 @@ from .traversals import (
     random_traversal,
     reverse_traversal,
 )
+from .callheavy import TABLE_BYTES, build_callheavy_program
 from .juliet import (
     JulietCase,
     TABLE3_CWES,
@@ -46,6 +47,8 @@ __all__ = [
     "forward_traversal",
     "random_traversal",
     "reverse_traversal",
+    "TABLE_BYTES",
+    "build_callheavy_program",
     "JulietCase",
     "TABLE3_CWES",
     "generate_juliet_suite",

@@ -150,6 +150,8 @@ class TestTable1ConstantPropagation:
         assert ip.stats.eliminated == 1
 
     def test_duplicate_elimination_stops_at_call(self):
+        """Intraprocedurally a call clobbers the fact; with summaries
+        the provably non-freeing callee is transparent."""
         b = ProgramBuilder()
         with b.function("callee"):
             pass
@@ -160,8 +162,14 @@ class TestTable1ConstantPropagation:
         with b.function("main") as m:
             m.malloc("buf", 64)
             m.call("kernel", [V("buf")])
-        ip = instrument(b.build(), tool=ASanMinusMinus())
+        ip = instrument(
+            b.build(), tool=ASanMinusMinus(), interprocedural=False
+        )
         assert len(checks_in(ip.program)) == 2
+        ip = instrument(
+            b.build(), tool=ASanMinusMinus(), interprocedural=True
+        )
+        assert len(checks_in(ip.program)) == 1
 
     def test_asanmm_safe_access_removal_with_known_size(self):
         """When the allocation size IS visible (same function, constant),
