@@ -46,8 +46,10 @@ import importlib
 import os
 import pickle
 import queue as queue_module
+import signal
 import traceback
 import zlib
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 #: Default size of each worker's shared-memory scratch segment.  Table
@@ -92,6 +94,49 @@ def shard_slot(key, workers: int) -> int:
 
 class FabricError(RuntimeError):
     """A work unit raised inside a fabric worker."""
+
+
+@dataclass
+class DrainReport:
+    """What a graceful :meth:`ExecutionFabric.drain` actually observed.
+
+    A clean drain between maps loses nothing.  But a drain that hits a
+    wedged worker used to terminate it and *silently discard* whatever
+    unit that worker was executing — the caller had no way to know its
+    sweep was missing results.  The report makes every loss explicit:
+
+    * ``stuck_workers`` — workers that ignored ``stop`` past the
+      timeout and had to be terminated;
+    * ``lost_units`` — in-flight units those workers took down with
+      them (``{worker, seq, ref}``), so a caller can re-queue them;
+    * ``unclaimed_results`` — finished results still sitting in the
+      event queue that no ``map`` call will ever collect (an aborted
+      map's leftovers);
+    * ``pending_units`` — scheduler units that were never dispatched.
+    """
+
+    stuck_workers: List[str] = field(default_factory=list)
+    lost_units: List[dict] = field(default_factory=list)
+    unclaimed_results: int = 0
+    pending_units: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.stuck_workers
+            or self.lost_units
+            or self.unclaimed_results
+            or self.pending_units
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "stuck_workers": list(self.stuck_workers),
+            "lost_units": [dict(unit) for unit in self.lost_units],
+            "unclaimed_results": self.unclaimed_results,
+            "pending_units": self.pending_units,
+        }
 
 
 class _Scheduler:
@@ -142,6 +187,15 @@ class _Scheduler:
 
 def _worker_main(worker_id: int, inbox, events, scratch) -> None:
     """The long-lived worker loop: run units until told to stop."""
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group, which used to kill workers mid-unit *before* the parent's
+    # cleanup ran — leaking /dev/shm scratch segments whose unlink raced
+    # the dying children.  Workers ignore SIGINT; the parent owns
+    # interrupt cleanup and retires them via ``stop`` or terminate().
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
     units_executed = 0
     while True:
         message = inbox.get()
@@ -225,6 +279,9 @@ class ExecutionFabric:
             process.start()
         self._idle = set(range(workers))
         self._scheduler = _Scheduler(workers)
+        #: worker id -> the (seq, ref, payload) unit it is executing;
+        #: drain() turns leftovers into the DrainReport's lost_units.
+        self._inflight: Dict[int, tuple] = {}
         self._closed = False
         self.maps_completed = 0
 
@@ -269,6 +326,7 @@ class ExecutionFabric:
                 errors.append(message[3])
             else:  # pragma: no cover - stat replies never interleave
                 raise RuntimeError(f"unexpected fabric event {kind!r}")
+            self._inflight.pop(worker_id, None)
             self._assign(worker_id)
         self.maps_completed += 1
         if errors:
@@ -284,6 +342,7 @@ class ExecutionFabric:
             self._idle.add(worker_id)
             return
         self._idle.discard(worker_id)
+        self._inflight[worker_id] = unit
         self._inboxes[worker_id].put(("run",) + unit)
 
     def _next_event(self, timeout: float = 1.0):
@@ -331,29 +390,61 @@ class ExecutionFabric:
             "maps_completed": self.maps_completed,
             "units_dispatched": self._scheduler.dispatched,
             "units_stolen": self._scheduler.steals,
+            "units_inflight": len(self._inflight),
             "shared_memory": bool(self._scratch),
         }
 
     # ------------------------------------------------------------------
     # shutdown
     # ------------------------------------------------------------------
-    def drain(self, timeout: float = 30.0) -> None:
+    def drain(self, timeout: float = 30.0) -> DrainReport:
         """Graceful shutdown: let every worker finish and exit cleanly.
 
         This is the *invalidation* path (worker count or ``REPRO_*``
-        environment changed): no in-flight unit is killed.
+        environment changed): no in-flight unit is killed unless its
+        worker ignores ``stop`` past ``timeout``.  The returned
+        :class:`DrainReport` accounts for everything a non-clean drain
+        left behind — stuck workers, the in-flight units they dropped,
+        results no map will ever claim, and never-dispatched units —
+        instead of silently discarding them.
         """
         if self._closed:
-            return
+            return DrainReport()
         self._closed = True
+        report = DrainReport(pending_units=self._scheduler.pending)
         for inbox in self._inboxes:
             inbox.put(("stop",))
-        for process in self._processes:
+        stuck_ids = []
+        for worker_id, process in enumerate(self._processes):
             process.join(timeout=timeout)
-            if process.is_alive():  # pragma: no cover - stuck worker
+            if process.is_alive():
+                report.stuck_workers.append(process.name)
+                stuck_ids.append(worker_id)
                 process.terminate()
                 process.join()
+        # Workers that exited cleanly posted any last result before
+        # taking ``stop``; sweep those events so completed units are
+        # counted as unclaimed rather than lost.
+        while True:
+            try:
+                message = self._events.get(timeout=0.05)
+            except queue_module.Empty:
+                break
+            if message[0] in ("result", "result-inline", "error"):
+                self._inflight.pop(message[1], None)
+                report.unclaimed_results += 1
+        for worker_id in sorted(self._inflight):
+            seq, ref, _payload = self._inflight[worker_id]
+            report.lost_units.append(
+                {
+                    "worker": self._processes[worker_id].name,
+                    "seq": seq,
+                    "ref": ref,
+                }
+            )
+        self._inflight.clear()
         self._release_scratch()
+        return report
 
     def terminate(self) -> None:
         """Hard shutdown (atexit / worker-death recovery only)."""
@@ -364,6 +455,7 @@ class ExecutionFabric:
             process.terminate()
         for process in self._processes:
             process.join()
+        self._inflight.clear()
         self._release_scratch()
 
     def _release_scratch(self) -> None:

@@ -31,9 +31,10 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
-from .fabric import ExecutionFabric
+from .fabric import DrainReport, ExecutionFabric
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -45,6 +46,14 @@ U = TypeVar("U")
 #: earlier BENCH_interpreter.json snapshots.
 _FABRIC: Optional[ExecutionFabric] = None
 _FABRIC_KEY: Optional[Tuple] = None
+
+#: Serializes every touch of the shared fabric.  A fabric ``map`` is a
+#: stateful conversation (scheduler, in-flight table, event queue);
+#: interleaving two maps from different threads — which the server's
+#: concurrent sweep/fuzz jobs would otherwise do — corrupts both.
+#: Re-entrant so a worker function that (inline) calls ``parallel_map``
+#: again on the same thread cannot deadlock against itself.
+_FABRIC_LOCK = threading.RLock()
 
 
 def default_jobs() -> int:
@@ -78,26 +87,33 @@ def _pool_key(processes: int) -> Tuple:
     return (processes, toggles)
 
 
-def drain_pool() -> None:
+def drain_pool(timeout: float = 30.0) -> Optional[DrainReport]:
     """Gracefully retire the shared fabric (key-change invalidation).
 
     Workers finish any in-flight unit, then exit cleanly — nothing is
-    killed.  This is the path a mid-process ``REPRO_*`` change takes.
+    killed unless a worker wedges past ``timeout``.  Returns the
+    fabric's :class:`~repro.analysis.fabric.DrainReport` (None when no
+    fabric was live) so callers can see — and re-queue — anything a
+    non-clean drain dropped.
     """
     global _FABRIC, _FABRIC_KEY
-    if _FABRIC is not None:
-        _FABRIC.drain()
-    _FABRIC = None
-    _FABRIC_KEY = None
+    with _FABRIC_LOCK:
+        report = None
+        if _FABRIC is not None:
+            report = _FABRIC.drain(timeout=timeout)
+        _FABRIC = None
+        _FABRIC_KEY = None
+        return report
 
 
 def shutdown_pool() -> None:
     """Hard-stop the shared fabric (atexit hook and test isolation)."""
     global _FABRIC, _FABRIC_KEY
-    if _FABRIC is not None:
-        _FABRIC.terminate()
-    _FABRIC = None
-    _FABRIC_KEY = None
+    with _FABRIC_LOCK:
+        if _FABRIC is not None:
+            _FABRIC.terminate()
+        _FABRIC = None
+        _FABRIC_KEY = None
 
 
 atexit.register(shutdown_pool)
@@ -123,11 +139,12 @@ def fabric_stats() -> Optional[dict]:
     counters, which is how tests assert warm-cache reuse across
     consecutive tables.
     """
-    if _FABRIC is None or _FABRIC._closed:
-        return None
-    stats = _FABRIC.stats()
-    stats["worker_stats"] = _FABRIC.worker_stats()
-    return stats
+    with _FABRIC_LOCK:
+        if _FABRIC is None or _FABRIC._closed:
+            return None
+        stats = _FABRIC.stats()
+        stats["worker_stats"] = _FABRIC.worker_stats()
+        return stats
 
 
 def parallel_map(
@@ -152,7 +169,13 @@ def parallel_map(
     jobs = max(int(jobs or 1), 1)
     if jobs == 1 or len(payloads) <= 1:
         return [worker(payload) for payload in payloads]
-    return _shared_fabric(jobs).map(worker, payloads, shard_keys=shard_keys)
+    # One map at a time: the fabric's dispatch state is a single
+    # conversation, and the server runs parallel_map from several job
+    # threads concurrently.
+    with _FABRIC_LOCK:
+        return _shared_fabric(jobs).map(
+            worker, payloads, shard_keys=shard_keys
+        )
 
 
 def chunk_ranges(total: int, jobs: int) -> List[tuple]:

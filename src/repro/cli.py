@@ -12,6 +12,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro fig11
     python -m repro bench --jobs 4               # timed Table 2 sweep
     python -m repro profile --tool GiantSan      # telemetry counters
+    python -m repro serve --port 8321            # REST control plane
     python -m repro demo                         # quickstart bug report
 
 Experiment sweeps accept ``--jobs N`` to fan cells out across worker
@@ -26,6 +27,7 @@ bulk scans and poisoning); the default honours ``REPRO_SHADOW``.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
@@ -370,6 +372,30 @@ def _cmd_analyze(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args) -> str:
+    """Run the sanitizer-as-a-service control plane (REST over HTTP)."""
+    from .server import create_app
+    from .server.config import config_from_env
+    from .server.http import run
+
+    config = config_from_env(
+        host=args.host, port=args.port, max_concurrency=args.concurrency
+    )
+    app = create_app(config)
+    print(
+        f"repro control plane on http://{config.host}:{config.port} "
+        f"(jobs: {config.max_concurrency} concurrent, "
+        f"worker cap {config.worker_cap})"
+    )
+    print(
+        "endpoints: POST /jobs/run  POST /jobs/sweep  POST /jobs/fuzz  "
+        "GET /jobs  GET /healthz  GET /stats"
+    )
+    sys.stdout.flush()
+    run(app, config.host, config.port)
+    return "server stopped"
+
+
 def _cmd_demo(args) -> str:
     from . import ProgramBuilder, Session
     from .reporting import format_all_reports
@@ -397,6 +423,7 @@ _COMMANDS = {
     "profile": (_cmd_profile, "Telemetry profile: fast/slow split + phases"),
     "fuzz": (_cmd_fuzz, "Differential fuzz: all tools, fastpath on+off"),
     "analyze": (_cmd_analyze, "Static dataflow analysis: findings + elisions"),
+    "serve": (_cmd_serve, "Run the REST control plane (jobs over HTTP)"),
     "demo": (_cmd_demo, "Detect a bug and print an ASan-style report"),
 }
 
@@ -438,7 +465,26 @@ def build_parser() -> argparse.ArgumentParser:
                 default=1,
                 help="worker processes for the sweep (default 1: inline)",
             )
-        if name in _PARALLEL_COMMANDS or name == "demo":
+        if name == "serve":
+            sub.add_argument(
+                "--host",
+                default=None,
+                help="bind address (default: REPRO_SERVE_HOST or 127.0.0.1)",
+            )
+            sub.add_argument(
+                "--port",
+                type=int,
+                default=None,
+                help="bind port (default: REPRO_SERVE_PORT or 8321)",
+            )
+            sub.add_argument(
+                "--concurrency",
+                type=int,
+                default=None,
+                help="concurrent job threads "
+                "(default: REPRO_SERVE_CONCURRENCY or 2)",
+            )
+        if name in _PARALLEL_COMMANDS or name in ("demo", "serve"):
             sub.add_argument(
                 "--engine",
                 choices=["tree", "compiled"],
@@ -601,6 +647,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             os.environ["REPRO_ENGINE"] = args.engine
         if getattr(args, "shadow", None):
             os.environ["REPRO_SHADOW"] = args.shadow
+    if args.command in _PARALLEL_COMMANDS:
+        # SIGTERM as SystemExit so the finally block (and atexit) run:
+        # fabric workers get retired and their shared-memory scratch
+        # unlinked even when a supervisor kills the sweep.
+        _install_sigterm_exit()
+    interrupted = False
     try:
         print(handler(args))
     except BrokenPipeError:  # e.g. `python -m repro table2 | head`
@@ -608,7 +660,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             sys.stdout.close()
         except Exception:
             pass
-    return 0
+    except KeyboardInterrupt:
+        # Workers ignore SIGINT (fabric.py), so they are still running
+        # their units right now; the hard stop below is what retires
+        # them and releases /dev/shm.
+        interrupted = True
+        print("\ninterrupted - retiring fabric workers", file=sys.stderr)
+    finally:
+        from .analysis.parallel import drain_pool, shutdown_pool
+
+        if interrupted:
+            shutdown_pool()
+        else:
+            # clean exits (including SystemExit from fuzz findings)
+            # drain gracefully; a no-op when no fabric was created
+            drain_pool()
+    return 130 if interrupted else 0
+
+
+def _install_sigterm_exit() -> None:
+    """Route SIGTERM through SystemExit so cleanup handlers run."""
+
+    def _exit(signum, frame):
+        raise SystemExit(143)
+
+    try:
+        signal.signal(signal.SIGTERM, _exit)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
 
 
 if __name__ == "__main__":

@@ -1,0 +1,212 @@
+"""A small stdlib asyncio HTTP/1.1 server for the ASGI app.
+
+``repro serve`` must run on the stock toolchain, so this module plays
+the uvicorn role: accept connections, parse one request at a time,
+translate it into ASGI ``http`` scope messages, and write the
+response back — chunked transfer for streaming responses (SSE),
+content-length otherwise.  Connections are ``Connection: close``;
+this is a lab control plane, not a production edge.
+
+``serve_forever`` installs SIGINT/SIGTERM handlers that trigger one
+graceful shutdown pass: stop accepting, run the app's lifespan
+shutdown (which drains the job manager and the execution fabric), and
+return.  A second signal aborts immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from typing import Optional
+
+from .asgi import App, LifespanManager
+
+_MAX_HEADER_BYTES = 65536
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _Connection:
+    """One accepted socket; serves a single request then closes."""
+
+    def __init__(self, app: App, reader, writer):
+        self.app = app
+        self.reader = reader
+        self.writer = writer
+
+    async def handle(self) -> None:
+        try:
+            scope, body = await self._read_request()
+            if scope is None:
+                return
+            await self._respond(scope, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                self.writer.close()
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self):
+        try:
+            head = await self.reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            await self._plain_error(431, "headers too large")
+            return None, b""
+        if len(head) > _MAX_HEADER_BYTES:
+            await self._plain_error(431, "headers too large")
+            return None, b""
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            await self._plain_error(400, "malformed request line")
+            return None, b""
+        headers = []
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers.append(
+                (name.strip().lower().encode("latin-1"),
+                 value.strip().encode("latin-1"))
+            )
+        length = 0
+        for name, value in headers:
+            if name == b"content-length":
+                try:
+                    length = int(value)
+                except ValueError:
+                    await self._plain_error(400, "bad content-length")
+                    return None, b""
+        if length > _MAX_BODY_BYTES:
+            await self._plain_error(413, "body too large")
+            return None, b""
+        body = await self.reader.readexactly(length) if length else b""
+        path, _, query = target.partition("?")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "query_string": query.encode("latin-1"),
+            "headers": headers,
+        }
+        return scope, body
+
+    async def _respond(self, scope: dict, body: bytes) -> None:
+        incoming = [{"type": "http.request", "body": body, "more_body": False}]
+
+        async def receive():
+            if incoming:
+                return incoming.pop(0)
+            return {"type": "http.disconnect"}
+
+        state = {"started": False, "streaming": False}
+
+        async def send(message):
+            if message["type"] == "http.response.start":
+                state["status"] = message["status"]
+                state["headers"] = list(message.get("headers", []))
+            elif message["type"] == "http.response.body":
+                chunk = message.get("body", b"")
+                more = message.get("more_body", False)
+                if not state["started"]:
+                    state["started"] = True
+                    state["streaming"] = more
+                    self._write_head(
+                        state["status"], state["headers"],
+                        streaming=more, length=len(chunk),
+                    )
+                if state["streaming"]:
+                    if chunk:
+                        self.writer.write(
+                            b"%x\r\n%s\r\n" % (len(chunk), chunk)
+                        )
+                    if not more:
+                        self.writer.write(b"0\r\n\r\n")
+                else:
+                    self.writer.write(chunk)
+                await self.writer.drain()
+
+        await self.app(scope, receive, send)
+
+    def _write_head(self, status, headers, streaming, length) -> None:
+        lines = [b"HTTP/1.1 %d %s" % (status, _reason(status))]
+        for name, value in headers:
+            lines.append(name + b": " + value)
+        if streaming:
+            lines.append(b"transfer-encoding: chunked")
+        else:
+            lines.append(b"content-length: %d" % length)
+        lines.append(b"connection: close")
+        self.writer.write(b"\r\n".join(lines) + b"\r\n\r\n")
+
+    async def _plain_error(self, status: int, message: str) -> None:
+        body = message.encode("utf-8")
+        self._write_head(
+            status,
+            [(b"content-type", b"text/plain; charset=utf-8")],
+            streaming=False,
+            length=len(body),
+        )
+        self.writer.write(body)
+        await self.writer.drain()
+
+
+def _reason(status: int) -> bytes:
+    return {
+        200: b"OK", 202: b"Accepted", 204: b"No Content",
+        400: b"Bad Request", 404: b"Not Found", 405: b"Method Not Allowed",
+        409: b"Conflict", 413: b"Payload Too Large",
+        422: b"Unprocessable Entity", 431: b"Headers Too Large",
+        500: b"Internal Server Error", 503: b"Service Unavailable",
+    }.get(status, b"Status")
+
+
+async def serve(
+    app: App,
+    host: str,
+    port: int,
+    ready: Optional[asyncio.Event] = None,
+    stop: Optional[asyncio.Event] = None,
+) -> None:
+    """Run the app on ``host:port`` until ``stop`` (or a signal) fires.
+
+    ``ready`` is set once the socket is listening and lifespan startup
+    has completed — tests use it to know when to connect.
+    """
+    stop = stop or asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+
+    lifespan = LifespanManager(app)
+    await lifespan.startup()
+
+    async def on_connection(reader, writer):
+        await _Connection(app, reader, writer).handle()
+
+    server = await asyncio.start_server(on_connection, host=host, port=port)
+    try:
+        if ready is not None:
+            ready.set()
+        await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await lifespan.shutdown()
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+
+
+def run(app: App, host: str, port: int) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    asyncio.run(serve(app, host, port))

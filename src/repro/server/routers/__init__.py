@@ -1,0 +1,5 @@
+"""REST routers for the control plane."""
+
+from . import health, jobs
+
+__all__ = ["health", "jobs"]

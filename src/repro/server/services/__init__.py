@@ -1,0 +1,7 @@
+"""Job bodies: the synchronous work each job kind executes."""
+
+from .runner import execute_run_job
+from .sweeps import execute_sweep_job
+from .fuzzing import execute_fuzz_job
+
+__all__ = ["execute_run_job", "execute_sweep_job", "execute_fuzz_job"]

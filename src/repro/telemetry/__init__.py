@@ -5,12 +5,18 @@ See :mod:`repro.telemetry.registry` for the design and
 """
 
 from .profiler import PhaseProfiler, PhaseStat
-from .registry import Telemetry, TelemetrySnapshot, telemetry_enabled_default
+from .registry import (
+    Telemetry,
+    TelemetrySnapshot,
+    merge_snapshots,
+    telemetry_enabled_default,
+)
 
 __all__ = [
     "PhaseProfiler",
     "PhaseStat",
     "Telemetry",
     "TelemetrySnapshot",
+    "merge_snapshots",
     "telemetry_enabled_default",
 ]

@@ -32,9 +32,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
-from .profiler import PhaseProfiler
+from .profiler import PhaseProfiler, PhaseStat
 
 
 def telemetry_enabled_default() -> bool:
@@ -132,6 +132,58 @@ class TelemetrySnapshot:
         }
 
 
+def merge_snapshots(
+    snapshots: Iterable[TelemetrySnapshot],
+) -> TelemetrySnapshot:
+    """Combine same-tool snapshots into one additive snapshot.
+
+    This is the *only* sanctioned way to aggregate telemetry across
+    Sessions: registries stay scoped to one Session each, and callers
+    (the server's process aggregate, sweep roll-ups) merge the immutable
+    snapshots afterwards.  Counters, per-site convergence steps,
+    superblock declines, and phase events/samples/seconds add;
+    ``quarantine_peak_bytes`` takes the max (peaks of disjoint runs do
+    not sum).  Merging snapshots from different tools raises — that is
+    exactly the cross-contamination this API exists to prevent.
+    """
+    snapshots = list(snapshots)
+    if not snapshots:
+        raise ValueError("merge_snapshots needs at least one snapshot")
+    tools = {snapshot.tool for snapshot in snapshots}
+    if len(tools) > 1:
+        raise ValueError(
+            f"refusing to merge snapshots from different tools: "
+            f"{sorted(tools)}"
+        )
+
+    counters: Dict[str, int] = {}
+    convergence: Dict[int, int] = {}
+    declines: Dict[str, int] = {}
+    phases: Dict[str, PhaseStat] = {}
+    quarantine_peak = 0
+    for snapshot in snapshots:
+        for name, value in snapshot.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        for site, steps in snapshot.convergence_per_site.items():
+            convergence[site] = convergence.get(site, 0) + steps
+        for reason, count in snapshot.superblock_declines.items():
+            declines[reason] = declines.get(reason, 0) + count
+        for name, stat in snapshot.phases.items():
+            merged = phases.setdefault(name, PhaseStat())
+            merged.events += int(stat.get("events", 0))
+            merged.samples += int(stat.get("samples", 0))
+            merged.sampled_seconds += float(stat.get("sampled_seconds", 0.0))
+        quarantine_peak = max(quarantine_peak, snapshot.quarantine_peak_bytes)
+    return TelemetrySnapshot(
+        tool=snapshots[0].tool,
+        counters=counters,
+        convergence_per_site=convergence,
+        superblock_declines=declines,
+        quarantine_peak_bytes=quarantine_peak,
+        phases={name: stat.as_dict() for name, stat in phases.items()},
+    )
+
+
 class Telemetry:
     """Counter registry + probes for one sanitizer's lifetime.
 
@@ -159,6 +211,30 @@ class Telemetry:
 
     def note_superblock_decline(self, reason: str) -> None:
         self.declines[reason] = self.declines.get(reason, 0) + 1
+
+    # -- explicit aggregation ------------------------------------------
+    def merge(self, other: "Telemetry") -> "Telemetry":
+        """Fold another registry's *probe* counters into this one.
+
+        Registries are scoped to one Session each; merging is the
+        explicit opt-in for roll-ups (never implicit sharing).  Only the
+        probe side merges — CheckStats mirrors belong to each
+        sanitizer's own snapshot, so merging attached registries' raw
+        counters directly would double-count.  Use
+        :func:`merge_snapshots` to combine *collected* snapshots.
+        """
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for site, steps in other.convergence.items():
+            self.convergence[site] = self.convergence.get(site, 0) + steps
+        for reason, count in other.declines.items():
+            self.declines[reason] = self.declines.get(reason, 0) + count
+        for name, stat in other.profiler.phases.items():
+            merged = self.profiler.phases.setdefault(name, PhaseStat())
+            merged.events += stat.events
+            merged.samples += stat.samples
+            merged.sampled_seconds += stat.sampled_seconds
+        return self
 
     # -- attachment ----------------------------------------------------
     def attach(self, sanitizer) -> "Telemetry":

@@ -327,3 +327,123 @@ class TestFabricDirect:
             assert results[0].program == "505.mcf_r"
         finally:
             fabric.drain()
+
+
+# ----------------------------------------------------------------------
+# worker functions for the drain-report tests (module-level so the
+# fabric can dispatch them by reference)
+# ----------------------------------------------------------------------
+def wedge_worker(payload):
+    """Sleeps far past any drain timeout: an artificially stuck worker."""
+    import time as _time
+
+    _time.sleep(payload)
+    return "woke"
+
+
+def quick_worker(payload):
+    return payload * 2
+
+
+class TestDrainReport:
+    def test_clean_drain_between_maps_loses_nothing(self):
+        fabric = ExecutionFabric(2)
+        fabric.map(quick_worker, [1, 2, 3], shard_keys=["a", "b", "c"])
+        report = fabric.drain()
+        assert report.clean
+        assert report.as_dict() == {
+            "clean": True,
+            "stuck_workers": [],
+            "lost_units": [],
+            "unclaimed_results": 0,
+            "pending_units": 0,
+        }
+        assert [p.exitcode for p in fabric.processes] == [0, 0]
+
+    def test_wedged_worker_reports_lost_unit_instead_of_silence(self):
+        from repro.analysis.fabric import worker_ref
+
+        fabric = ExecutionFabric(2)
+        ref = worker_ref(wedge_worker)
+        # hand worker 0 a unit that outsleeps the drain timeout
+        fabric._scheduler.submit([(0, ref, 60.0)], ["wedge"])
+        fabric._assign(0)
+        report = fabric.drain(timeout=0.5)
+        assert not report.clean
+        assert report.stuck_workers == ["repro-fabric-0"]
+        assert report.lost_units == [
+            {"worker": "repro-fabric-0", "seq": 0, "ref": ref}
+        ]
+        assert report.unclaimed_results == 0
+        # the wedged worker was terminated; the idle one exited cleanly
+        assert fabric.processes[0].exitcode != 0
+        assert fabric.processes[1].exitcode == 0
+        # shared-memory scratch is released either way
+        assert fabric._scratch == []
+
+    def test_abandoned_map_results_counted_as_unclaimed(self):
+        import time as time_module
+
+        from repro.analysis.fabric import worker_ref
+
+        fabric = ExecutionFabric(2)
+        ref = worker_ref(quick_worker)
+        # dispatch a unit and abandon the map conversation: its result
+        # lands in the event queue with nobody left to claim it
+        fabric._scheduler.submit([(0, ref, 21)], ["orphan"])
+        fabric._assign(0)
+        deadline = time_module.monotonic() + 10.0
+        while time_module.monotonic() < deadline:
+            time_module.sleep(0.05)
+            if not fabric._events.empty():
+                break
+        report = fabric.drain(timeout=10.0)
+        assert report.stuck_workers == []
+        assert report.lost_units == []
+        assert report.unclaimed_results == 1
+
+    def test_drain_pool_returns_report(self):
+        assert parallel.drain_pool() is None  # no fabric yet
+        results = parallel_map(
+            quick_worker, [1, 2, 3, 4], jobs=2, shard_keys=list("abcd")
+        )
+        assert results == [2, 4, 6, 8]
+        report = parallel.drain_pool()
+        assert report is not None and report.clean
+        assert parallel.drain_pool() is None  # idempotent
+
+
+class TestConcurrentParallelMap:
+    def test_concurrent_maps_from_threads_serialize_correctly(self):
+        """Server job threads share one fabric; maps must not interleave."""
+        import threading
+
+        outcomes = {}
+        errors = []
+
+        def run(label, payloads):
+            try:
+                outcomes[label] = parallel_map(
+                    quick_worker,
+                    payloads,
+                    jobs=2,
+                    shard_keys=[f"{label}-{p}" for p in payloads],
+                )
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append((label, exc))
+
+        threads = [
+            threading.Thread(target=run, args=(label, list(range(i, i + 8))))
+            for i, label in enumerate(["a", "b", "c", "d"])
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        for i, label in enumerate(["a", "b", "c", "d"]):
+            assert outcomes[label] == [p * 2 for p in range(i, i + 8)]
+        stats = fabric_stats()
+        assert stats is not None
+        assert stats["units_dispatched"] == 32
+        assert stats["units_inflight"] == 0

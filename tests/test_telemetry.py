@@ -409,3 +409,108 @@ class TestProfileStudy:
         payload = json.loads(profile_to_json(study))
         assert payload["kind"] == "telemetry_profile"
         assert payload["programs"][0]["telemetry"]["counters"]
+
+
+# ----------------------------------------------------------------------
+# explicit aggregation: per-Session registries + merge API
+# ----------------------------------------------------------------------
+class TestMergeAPI:
+    def _run_demo(self, tool="GiantSan"):
+        builder = ProgramBuilder()
+        with builder.function("main") as f:
+            f.malloc("buf", 64)
+            with f.loop("i", 0, 8) as i:
+                f.store("buf", i * 8, 8, i)
+            f.free("buf")
+        session = Session(tool, telemetry=True)
+        result = session.run(builder.build())
+        return result.telemetry
+
+    def test_merge_snapshots_is_additive(self):
+        first = self._run_demo()
+        second = self._run_demo()
+        from repro.telemetry import merge_snapshots
+
+        merged = merge_snapshots([first, second])
+        assert merged.tool == "GiantSan"
+        for name in first.counters:
+            assert merged.counters[name] == (
+                first.counters[name] + second.counters.get(name, 0)
+            )
+        assert merged.convergence_total_steps == (
+            first.convergence_total_steps + second.convergence_total_steps
+        )
+        assert merged.quarantine_peak_bytes == max(
+            first.quarantine_peak_bytes, second.quarantine_peak_bytes
+        )
+        for name, stat in merged.phases.items():
+            assert stat["events"] == (
+                first.phases[name]["events"] + second.phases[name]["events"]
+            )
+
+    def test_merge_snapshots_rejects_mixed_tools(self):
+        from repro.telemetry import merge_snapshots
+
+        with pytest.raises(ValueError, match="different tools"):
+            merge_snapshots([self._run_demo("GiantSan"),
+                             self._run_demo("ASan")])
+        with pytest.raises(ValueError, match="at least one"):
+            merge_snapshots([])
+
+    def test_registry_merge_folds_probe_counters(self):
+        left, right = Telemetry(), Telemetry()
+        left.incr("redzone_bytes_poisoned", 10)
+        left.note_convergence(3)
+        right.incr("redzone_bytes_poisoned", 5)
+        right.note_convergence(3)
+        right.note_convergence(7)
+        right.note_superblock_decline("degree")
+        merged = left.merge(right)
+        assert merged is left
+        assert left.counters["redzone_bytes_poisoned"] == 15
+        assert left.convergence == {3: 2, 7: 1}
+        assert left.declines == {"degree": 1}
+
+    def test_concurrent_sessions_do_not_cross_contaminate(self):
+        """Two telemetry Sessions running in parallel threads stay scoped."""
+        import threading
+
+        def build(iterations):
+            builder = ProgramBuilder()
+            with builder.function("main") as f:
+                f.malloc("buf", iterations * 8)
+                with f.loop("i", 0, iterations) as i:
+                    f.store("buf", i * 8, 8, i)
+                f.free("buf")
+            return builder.build()
+
+        # sequential ground truth
+        expected = {}
+        for tool, iterations in (("GiantSan", 8), ("ASan", 24)):
+            session = Session(tool, telemetry=True)
+            session.run(build(iterations))
+            snapshot = session.telemetry.snapshot()
+            expected[tool] = (snapshot.counters, snapshot.convergence_per_site)
+
+        observed = {}
+        barrier = threading.Barrier(2)
+
+        def run(tool, iterations):
+            session = Session(tool, telemetry=True)
+            program = build(iterations)
+            barrier.wait(timeout=30)
+            session.run(program)
+            snapshot = session.telemetry.snapshot()
+            observed[tool] = (
+                snapshot.counters, snapshot.convergence_per_site
+            )
+
+        threads = [
+            threading.Thread(target=run, args=("GiantSan", 8)),
+            threading.Thread(target=run, args=("ASan", 24)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert observed == expected
